@@ -1,0 +1,30 @@
+"""Figure 10 — parameter-tuning sweeps (training K, d_m, lr, batch size).
+
+Paper shape to reproduce: K below ~10 hurts noticeably while K >= 10
+plateaus; the embedding dimension has little effect; the learning rate
+has an interior optimum; batch size barely matters.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig10
+
+
+def bench_fig10(benchmark, profile, save_report):
+    small = profile.smaller(0.6)
+    sweeps = benchmark.pedantic(run_fig10, args=(small,), rounds=1, iterations=1)
+    blocks = []
+    for parameter, points in sweeps.items():
+        rows = [
+            [f"{p.value:g}", f"{p.metrics['Recall@5']:.4f}", f"{p.metrics['MRR']:.4f}"]
+            for p in points
+        ]
+        blocks.append(
+            format_table(
+                [parameter, "Recall@5", "MRR"],
+                rows,
+                title=f"Fig. 10 — sweep over {parameter}",
+            )
+        )
+    save_report("fig10", "\n\n".join(blocks))
+    assert set(sweeps) == {"K", "dim", "lr", "batch"}
+    assert all(len(points) >= 3 for points in sweeps.values())

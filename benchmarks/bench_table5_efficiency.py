@@ -1,0 +1,30 @@
+"""Table V — memory / training / inference cost comparison.
+
+Paper shape to reproduce: TSPN-RA's inference is among the fastest of
+the attention models because the tile filter shrinks the candidate
+set; STAN is the most expensive to train; recurrent history models
+(DeepMove/LSTPM) pay per-step costs at inference.
+
+Absolute values are CPU/numpy figures, not the paper's GPU testbed.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.tables import run_table5
+
+
+def bench_table5(benchmark, profile, save_report):
+    small = profile.smaller(0.8)
+    results = benchmark.pedantic(run_table5, args=(small,), rounds=1, iterations=1)
+    blocks = []
+    for dataset, reports in results.items():
+        rows = [r.as_row() for r in reports]
+        blocks.append(
+            format_table(
+                ["Model", "PeakMem", "Train", "Infer"],
+                rows,
+                title=f"Table V — efficiency ({dataset.upper()})",
+            )
+        )
+    save_report("table5", "\n\n".join(blocks))
+    for dataset, reports in results.items():
+        assert all(r.train_seconds > 0 for r in reports)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the per-table / per-figure benchmarks.
+
+Every benchmark runs the corresponding experiment once
+(``benchmark.pedantic(rounds=1)``: these are end-to-end train+evaluate
+pipelines, not microbenchmarks), prints the regenerated table, and
+archives it under ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import current_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The experiment profile (env ``REPRO_PROFILE``, default quick)."""
+    return current_profile()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Writer that archives a rendered report and echoes it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,42 @@
+"""Compare TSPN-RA against three baselines on one dataset.
+
+A miniature version of the paper's Table II pipeline with full control
+over the knobs — useful as a template for benchmarking your own
+variants.
+
+    python examples/model_comparison.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments import (
+    QUICK,
+    format_results,
+    prepare,
+    run_one,
+)
+
+
+def main() -> None:
+    profile = replace(QUICK, dataset_scale=0.4, eval_samples=120)
+    print(f"profile: scale={profile.dataset_scale} dim={profile.dim} epochs={profile.epochs}")
+
+    data = prepare("tky", profile)
+    print(
+        f"tky-like dataset: {data.num_pois} POIs, "
+        f"{len(data.dataset.quadtree.leaves())} leaf tiles, "
+        f"splits={data.splits.sizes()}"
+    )
+
+    results = {}
+    for model_name in ("MC", "GRU", "LSTPM", "TSPN-RA"):
+        print(f"training {model_name}...")
+        metrics, _ = run_one(model_name, data, profile)
+        results[model_name] = metrics
+
+    print()
+    print(format_results(results, highlight="TSPN-RA", title="TKY mini-comparison"))
+
+
+if __name__ == "__main__":
+    main()

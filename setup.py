@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs fail; keeping a classic ``setup.py`` lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "TSPN-RA: two-step next-POI prediction with remote sensing "
+        "augmentation (ICDE 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+)

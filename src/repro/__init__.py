@@ -1,0 +1,58 @@
+"""TSPN-RA reproduction: spatial & semantic next-POI prediction with
+remote-sensing augmentation (ICDE 2024).
+
+Public API tour
+---------------
+>>> from repro.data import build_dataset, make_samples, split_samples
+>>> from repro.core import TSPNRA, TSPNRAConfig
+>>> from repro.train import Trainer, TrainConfig
+>>> from repro.eval import evaluate
+>>> dataset = build_dataset("nyc", seed=0, scale=0.3)
+>>> splits = split_samples(make_samples(dataset))
+>>> model = TSPNRA.from_dataset(dataset, TSPNRAConfig(dim=32))
+>>> Trainer(model, TrainConfig(epochs=2)).fit(splits.train)  # doctest: +SKIP
+>>> evaluate(model, splits.test)  # doctest: +SKIP
+
+Sub-packages: ``autograd`` / ``nn`` / ``optim`` (the ML substrate),
+``geo`` / ``spatial`` / ``roadnet`` / ``imagery`` (the urban substrate),
+``data`` (check-ins), ``graphs`` (QR-P), ``core`` (the model),
+``baselines``, ``train``, ``eval``, ``experiments``.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    autograd,
+    baselines,
+    core,
+    data,
+    eval,
+    experiments,
+    geo,
+    graphs,
+    imagery,
+    nn,
+    optim,
+    roadnet,
+    spatial,
+    train,
+    utils,
+)
+
+__all__ = [
+    "autograd",
+    "baselines",
+    "core",
+    "data",
+    "eval",
+    "experiments",
+    "geo",
+    "graphs",
+    "imagery",
+    "nn",
+    "optim",
+    "roadnet",
+    "spatial",
+    "train",
+    "utils",
+]

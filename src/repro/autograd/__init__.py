@@ -1,0 +1,52 @@
+"""Reverse-mode autodiff engine (the PyTorch substitute for this repo)."""
+
+from .functional import (
+    conv2d,
+    cosine_similarity,
+    cross_entropy,
+    dropout,
+    gather_rows,
+    l2_normalize,
+    log_softmax,
+    masked_fill,
+    softmax,
+)
+from .gradcheck import gradcheck, numerical_gradient
+from .tensor import (
+    Tensor,
+    arange,
+    concat,
+    is_grad_enabled,
+    maximum,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "Tensor",
+    "arange",
+    "concat",
+    "conv2d",
+    "cosine_similarity",
+    "cross_entropy",
+    "dropout",
+    "gather_rows",
+    "gradcheck",
+    "is_grad_enabled",
+    "l2_normalize",
+    "log_softmax",
+    "masked_fill",
+    "maximum",
+    "no_grad",
+    "numerical_gradient",
+    "ones",
+    "softmax",
+    "stack",
+    "tensor",
+    "where",
+    "zeros",
+]

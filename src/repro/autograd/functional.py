@@ -1,0 +1,185 @@
+"""Fused differentiable functions built on :class:`~repro.autograd.Tensor`.
+
+These are the numerically careful versions of operations that would be
+unstable or slow if composed from primitive ops (softmax family), plus a
+handful of conveniences (masked attention scores, L2 normalisation,
+cosine similarity) used throughout the TSPN-RA model and baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, unbroadcast
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax with a fused backward pass."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return out * (g - dot)
+
+    return Tensor._make(out, (x,), (grad_fn,), "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    soft = np.exp(out)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._make(out, (x,), (grad_fn,), "log_softmax")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood for integer class targets.
+
+    ``logits`` has shape ``(batch, classes)``; ``targets`` is an integer
+    array of shape ``(batch,)``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -(picked.mean())
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalise vectors along ``axis`` to unit L2 norm."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity along ``axis`` with broadcasting support."""
+    return (l2_normalize(a, axis=axis, eps=eps) * l2_normalize(b, axis=axis, eps=eps)).sum(axis=axis)
+
+
+def masked_fill(x: Tensor, mask: ArrayLike, value: float) -> Tensor:
+    """Set entries of ``x`` where ``mask`` is true to ``value``.
+
+    Gradients are blocked on the filled positions, which is exactly the
+    behaviour required for additive attention masks.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, value, x.data)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return unbroadcast(g * (~mask), x.shape)
+
+    return Tensor._make(data, (x,), (grad_fn,), "masked_fill")
+
+
+def gather_rows(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Differentiable row lookup: the core of every embedding layer."""
+    return table[np.asarray(indices, dtype=np.int64)]
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple:
+    """Unfold ``(N, C, H, W)`` into convolution columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C*kernel*kernel, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter columns back onto the image."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    for ki in range(kernel):
+        i_max = ki + stride * out_h
+        for kj in range(kernel):
+            j_max = kj + stride * out_w
+            padded[:, :, ki:i_max:stride, kj:j_max:stride] += cols[:, :, ki, kj, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution via im2col.
+
+    ``x``: ``(N, C, H, W)``; ``weight``: ``(O, C, K, K)``;
+    ``bias``: ``(O,)`` or ``None``.
+    """
+    n, c, h, w = x.shape
+    o, c_w, kh, kw = weight.shape
+    if c != c_w or kh != kw:
+        raise ValueError("weight shape incompatible with input")
+    kernel = kh
+    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(o, -1)
+    out = np.einsum("ok,nkp->nop", w_mat, cols)
+    if bias is not None:
+        out = out + bias.data[None, :, None]
+    out = out.reshape(n, o, out_h, out_w)
+
+    x_shape = x.shape
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, o, out_h * out_w)
+        dcols = np.einsum("ok,nop->nkp", w_mat, g_mat)
+        return col2im(dcols, x_shape, kernel, stride, padding, out_h, out_w)
+
+    def grad_w(g: np.ndarray) -> np.ndarray:
+        g_mat = g.reshape(n, o, out_h * out_w)
+        dw = np.einsum("nop,nkp->ok", g_mat, cols)
+        return dw.reshape(weight.shape)
+
+    parents = [x, weight]
+    grad_fns = [grad_x, grad_w]
+    if bias is not None:
+        parents.append(bias)
+        grad_fns.append(lambda g: g.sum(axis=(0, 2, 3)))
+    return Tensor._make(out, parents, grad_fns, "conv2d")

@@ -1,0 +1,78 @@
+"""The ten comparison baselines from the paper's Sec. VI-A."""
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .base import BaselineResult, NextPOIBaseline, SequenceEmbedder
+from .deepmove import DeepMove
+from .graph_flashback import GraphFlashback
+from .gru import GRUBaseline
+from .hmt_grn import HMTGRN
+from .lstpm import LSTPM
+from .markov import MarkovChain
+from .sae_nad import SAENAD
+from .stan import STAN
+from .stisan import STiSAN
+from .strnn import STRNN
+
+BASELINE_NAMES = (
+    "MC",
+    "GRU",
+    "STRNN",
+    "DeepMove",
+    "LSTPM",
+    "STAN",
+    "SAE-NAD",
+    "HMT-GRN",
+    "Graph-Flashback",
+    "STiSAN",
+)
+
+
+def make_baseline(
+    name: str,
+    num_pois: int,
+    locations: np.ndarray,
+    dim: int = 64,
+    rng=None,
+):
+    """Factory: construct any baseline by its paper name.
+
+    ``locations`` are unit-square POI coordinates (several baselines
+    use spatial intervals or proximity biases).
+    """
+    builders = {
+        "MC": lambda: MarkovChain(num_pois),
+        "GRU": lambda: GRUBaseline(num_pois, dim=dim, rng=rng),
+        "STRNN": lambda: STRNN(num_pois, locations, dim=dim, rng=rng),
+        "DeepMove": lambda: DeepMove(num_pois, dim=dim, rng=rng),
+        "LSTPM": lambda: LSTPM(num_pois, dim=dim, rng=rng),
+        "STAN": lambda: STAN(num_pois, locations, dim=dim, rng=rng),
+        "SAE-NAD": lambda: SAENAD(num_pois, locations, dim=dim, rng=rng),
+        "HMT-GRN": lambda: HMTGRN(num_pois, locations, dim=dim, rng=rng),
+        "Graph-Flashback": lambda: GraphFlashback(num_pois, locations, dim=dim, rng=rng),
+        "STiSAN": lambda: STiSAN(num_pois, locations, dim=dim, rng=rng),
+    }
+    if name not in builders:
+        raise KeyError(f"unknown baseline {name!r}; choose from {BASELINE_NAMES}")
+    return builders[name]()
+
+
+__all__ = [
+    "BASELINE_NAMES",
+    "BaselineResult",
+    "DeepMove",
+    "GRUBaseline",
+    "GraphFlashback",
+    "HMTGRN",
+    "LSTPM",
+    "MarkovChain",
+    "NextPOIBaseline",
+    "SAENAD",
+    "STAN",
+    "STRNN",
+    "STiSAN",
+    "SequenceEmbedder",
+    "make_baseline",
+]

@@ -1,0 +1,98 @@
+"""Shared machinery for the ten baseline models (paper Sec. VI-A).
+
+Every baseline is a faithful-in-mechanism, scaled-to-substrate
+re-implementation: it keeps the architectural component the paper
+credits (or blames) for the original model's behaviour, on top of the
+same autograd engine TSPN-RA uses, so efficiency and effectiveness
+comparisons are apples-to-apples.
+
+All neural baselines share one contract:
+
+* ``score(sample) -> Tensor``: logits over the full POI vocabulary;
+* ``loss_sample(sample)``: cross-entropy against the true next POI;
+* ``predict(sample) -> BaselineResult``: full ranked POI list.
+
+Count-based models (MC) implement ``fit(samples)`` instead of
+gradient training; the experiment harness dispatches on
+``requires_gradient_training``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy, no_grad
+from ..core.two_step import rank_of_target
+from ..data.trajectory import PredictionSample
+from ..nn import Embedding, Module
+from ..utils.rng import default_rng
+
+
+@dataclass
+class BaselineResult:
+    """Inference output mirroring :class:`repro.core.model.PredictionResult`."""
+
+    ranked_pois: List[int]
+    target_poi: int
+
+    @property
+    def poi_rank(self) -> int:
+        return rank_of_target(self.ranked_pois, self.target_poi)
+
+
+class NextPOIBaseline(Module):
+    """Base class for gradient-trained baselines."""
+
+    name = "baseline"
+    requires_gradient_training = True
+
+    def __init__(self, num_pois: int, dim: int, rng=None):
+        super().__init__()
+        self.num_pois = num_pois
+        self.dim = dim
+        self._rng = rng or default_rng()
+
+    # Subclasses implement score(); everything else is shared.
+    def score(self, sample: PredictionSample) -> Tensor:
+        raise NotImplementedError
+
+    def loss_sample(self, sample: PredictionSample) -> Tensor:
+        logits = self.score(sample)
+        return cross_entropy(logits.reshape(1, -1), np.array([sample.target.poi_id]))
+
+    def predict(self, sample: PredictionSample) -> BaselineResult:
+        with no_grad():
+            logits = self.score(sample).data
+        order = np.argsort(-logits, kind="stable")
+        return BaselineResult(ranked_pois=[int(i) for i in order], target_poi=sample.target.poi_id)
+
+
+class SequenceEmbedder(Module):
+    """POI-id + time-slot embedding shared by the sequential baselines."""
+
+    def __init__(self, num_pois: int, dim: int, use_time: bool = True, rng=None):
+        super().__init__()
+        from ..data.checkin import SLOTS_PER_DAY, time_slot
+
+        rng = rng or default_rng()
+        self._slot_fn = time_slot
+        self.poi_table = Embedding(num_pois, dim, rng=rng)
+        self.use_time = use_time
+        if use_time:
+            self.time_table = Embedding(SLOTS_PER_DAY, dim, rng=rng)
+
+    def forward(self, sample_or_visits) -> Tensor:
+        visits = (
+            sample_or_visits.prefix
+            if isinstance(sample_or_visits, PredictionSample)
+            else sample_or_visits
+        )
+        ids = np.array([v.poi_id for v in visits], dtype=np.int64)
+        out = self.poi_table(ids)
+        if self.use_time:
+            slots = np.array([self._slot_fn(v.timestamp) for v in visits], dtype=np.int64)
+            out = out + self.time_table(slots)
+        return out

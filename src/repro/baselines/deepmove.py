@@ -1,0 +1,58 @@
+"""DeepMove baseline [Feng et al., WWW 2018; ref 6].
+
+An attentional recurrent network: a GRU encodes the current prefix,
+and an attention layer retrieves relevant historical mobility from the
+user's earlier trajectories (what gives DeepMove its edge over plain
+RNNs, and the component that made it one of the paper's strongest
+baselines).  Current representation and history context are combined
+for full-vocabulary scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, concat, softmax
+from ..data.trajectory import PredictionSample, concat_history
+from ..nn import GRU, Linear
+from ..utils.rng import default_rng
+from .base import NextPOIBaseline, SequenceEmbedder
+
+_MAX_HISTORY = 120  # cap history length to bound attention cost
+
+
+class DeepMove(NextPOIBaseline):
+    name = "DeepMove"
+
+    def __init__(self, num_pois: int, dim: int = 64, rng=None):
+        super().__init__(num_pois, dim, rng=rng)
+        rng = rng or default_rng()
+        self.embedder = SequenceEmbedder(num_pois, dim, rng=rng)
+        self.rnn = GRU(dim, dim, rng=rng)
+        self.history_rnn = GRU(dim, dim, rng=rng)
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.combine = Linear(2 * dim, dim, rng=rng)
+        self.head = Linear(dim, num_pois, rng=rng)
+
+    def _history_states(self, sample: PredictionSample) -> Optional[Tensor]:
+        visits = concat_history(sample.history)[-_MAX_HISTORY:]
+        if not visits:
+            return None
+        embedded = self.embedder(visits)
+        states, _ = self.history_rnn(embedded)
+        return states
+
+    def score(self, sample: PredictionSample) -> Tensor:
+        sequence = self.embedder(sample)
+        _, current = self.rnn(sequence)
+        history = self._history_states(sample)
+        if history is None:
+            context = current
+        else:
+            query = self.query_proj(current)
+            weights = softmax((history @ query) * (1.0 / np.sqrt(self.dim)), axis=0)
+            context = (history * weights.reshape(-1, 1)).sum(axis=0)
+        merged = self.combine(concat([current, context], axis=0)).relu()
+        return self.head(merged)

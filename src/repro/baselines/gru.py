@@ -1,0 +1,29 @@
+"""GRU baseline [Cho et al., ref 34].
+
+Plain gated recurrent network over the prefix sequence; the final
+hidden state scores the full POI vocabulary through a linear head.
+"""
+
+from __future__ import annotations
+
+from ..autograd import Tensor
+from ..data.trajectory import PredictionSample
+from ..nn import GRU, Linear
+from ..utils.rng import default_rng
+from .base import NextPOIBaseline, SequenceEmbedder
+
+
+class GRUBaseline(NextPOIBaseline):
+    name = "GRU"
+
+    def __init__(self, num_pois: int, dim: int = 64, rng=None):
+        super().__init__(num_pois, dim, rng=rng)
+        rng = rng or default_rng()
+        self.embedder = SequenceEmbedder(num_pois, dim, rng=rng)
+        self.rnn = GRU(dim, dim, rng=rng)
+        self.head = Linear(dim, num_pois, rng=rng)
+
+    def score(self, sample: PredictionSample) -> Tensor:
+        sequence = self.embedder(sample)
+        _, hidden = self.rnn(sequence)
+        return self.head(hidden)

@@ -1,0 +1,58 @@
+"""LSTPM baseline [Sun et al., AAAI 2020; ref 7].
+
+Long- and Short-Term Preference Modeling: a *non-local* long-term
+module attends over per-trajectory history encodings weighted by their
+similarity to the current context, and a short-term module pairs a
+plain LSTM with a *geo-dilated* LSTM that skips spatially redundant
+steps.  Both defining mechanisms are kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concat, softmax
+from ..data.trajectory import PredictionSample
+from ..nn import LSTM, DilatedLSTM, Linear
+from ..utils.rng import default_rng
+from .base import NextPOIBaseline, SequenceEmbedder
+
+_MAX_HISTORY_TRAJECTORIES = 12
+
+
+class LSTPM(NextPOIBaseline):
+    name = "LSTPM"
+
+    def __init__(self, num_pois: int, dim: int = 64, dilation: int = 2, rng=None):
+        super().__init__(num_pois, dim, rng=rng)
+        rng = rng or default_rng()
+        self.embedder = SequenceEmbedder(num_pois, dim, rng=rng)
+        self.short_term = LSTM(dim, dim, rng=rng)
+        self.geo_dilated = DilatedLSTM(dim, dim, dilation=dilation, rng=rng)
+        self.trajectory_encoder = LSTM(dim, dim, rng=rng)
+        self.combine = Linear(3 * dim, dim, rng=rng)
+        self.head = Linear(dim, num_pois, rng=rng)
+
+    def score(self, sample: PredictionSample) -> Tensor:
+        sequence = self.embedder(sample)
+        _, (short, _) = self.short_term(sequence)
+        dilated = self.geo_dilated(sequence)
+
+        history = sample.history[-_MAX_HISTORY_TRAJECTORIES:]
+        if history:
+            encodings = []
+            for trajectory in history:
+                embedded = self.embedder(trajectory.visits)
+                _, (state, _) = self.trajectory_encoder(embedded)
+                encodings.append(state)
+            from ..autograd import stack
+
+            stacked = stack(encodings, axis=0)  # (H, dim)
+            # non-local weighting: similarity of each past trajectory to
+            # the current short-term state
+            weights = softmax((stacked @ short) * (1.0 / np.sqrt(self.dim)), axis=0)
+            long_term = (stacked * weights.reshape(-1, 1)).sum(axis=0)
+        else:
+            long_term = short
+        merged = self.combine(concat([short, dilated, long_term], axis=0)).relu()
+        return self.head(merged)

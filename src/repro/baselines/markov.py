@@ -1,0 +1,64 @@
+"""MC: first-order Markov chain baseline [refs 1, 2 in the paper].
+
+Predicts the next POI from a stationary transition matrix estimated by
+counting consecutive visits in the training trajectories, backing off
+to global popularity for unseen source POIs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.trajectory import PredictionSample
+from .base import BaselineResult
+
+
+class MarkovChain:
+    """Count-based model; no gradients."""
+
+    name = "MC"
+    requires_gradient_training = False
+
+    def __init__(self, num_pois: int, smoothing: float = 0.1):
+        self.num_pois = num_pois
+        self.smoothing = smoothing
+        self.transitions = np.zeros((num_pois, num_pois), dtype=np.float64)
+        self.popularity = np.zeros(num_pois, dtype=np.float64)
+        self._fitted = False
+
+    def fit(self, samples: Sequence[PredictionSample]) -> "MarkovChain":
+        """Count transitions along every (prefix, target) chain."""
+        for sample in samples:
+            chain = sample.prefix_poi_ids + [sample.target.poi_id]
+            for src, dst in zip(chain, chain[1:]):
+                self.transitions[src, dst] += 1.0
+            for poi in chain:
+                self.popularity[poi] += 1.0
+        self._fitted = True
+        return self
+
+    def scores(self, sample: PredictionSample) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("MarkovChain.fit() must run before prediction")
+        current = sample.prefix[-1].poi_id
+        row = self.transitions[current]
+        pop = self.popularity / max(self.popularity.sum(), 1.0)
+        if row.sum() == 0:
+            return pop
+        return row / row.sum() + self.smoothing * pop
+
+    def predict(self, sample: PredictionSample) -> BaselineResult:
+        order = np.argsort(-self.scores(sample), kind="stable")
+        return BaselineResult(ranked_pois=[int(i) for i in order], target_poi=sample.target.poi_id)
+
+    # interface parity with Module-based baselines
+    def eval(self):
+        return self
+
+    def train(self, mode: bool = True):
+        return self
+
+    def num_parameters(self) -> int:
+        return 0

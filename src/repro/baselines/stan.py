@@ -1,0 +1,77 @@
+"""STAN baseline [Luo et al., WWW 2021; ref 10].
+
+Bi-layer spatio-temporal attention with explicit interval matrices:
+attention logits are biased by learned functions of the pairwise
+spatial distances and temporal gaps between visits, and scoring adds a
+personalised item frequency (PIF) term — STAN's two defining pieces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, masked_fill, softmax
+from ..data.trajectory import PredictionSample, concat_history
+from ..nn import Linear, Parameter, causal_mask
+from ..utils.rng import default_rng
+from .base import NextPOIBaseline, SequenceEmbedder
+
+
+class STAN(NextPOIBaseline):
+    name = "STAN"
+
+    def __init__(
+        self,
+        num_pois: int,
+        locations: np.ndarray,
+        dim: int = 64,
+        max_gap_hours: float = 48.0,
+        rng=None,
+    ):
+        super().__init__(num_pois, dim, rng=rng)
+        rng = rng or default_rng()
+        self.locations = np.asarray(locations, dtype=np.float64)
+        self.max_gap = max_gap_hours
+        self.embedder = SequenceEmbedder(num_pois, dim, rng=rng)
+        self.q1 = Linear(dim, dim, rng=rng)
+        self.k1 = Linear(dim, dim, rng=rng)
+        self.v1 = Linear(dim, dim, rng=rng)
+        self.q2 = Linear(dim, dim, rng=rng)
+        self.k2 = Linear(dim, dim, rng=rng)
+        self.v2 = Linear(dim, dim, rng=rng)
+        # learned linear interval biases (slope for distance and time gap)
+        self.spatial_slope = Parameter(np.array([-1.0]))
+        self.temporal_slope = Parameter(np.array([-1.0]))
+        self.head = Linear(dim, num_pois, rng=rng)
+        self.pif_weight = Parameter(np.array([1.0]))
+
+    def _interval_bias(self, sample: PredictionSample) -> Tensor:
+        ids = np.array(sample.prefix_poi_ids, dtype=np.int64)
+        times = np.array([v.timestamp for v in sample.prefix])
+        coords = self.locations[ids]
+        dists = np.sqrt(((coords[:, None, :] - coords[None, :, :]) ** 2).sum(-1))
+        gaps = np.minimum(np.abs(times[:, None] - times[None, :]), self.max_gap) / self.max_gap
+        bias = (
+            Tensor(dists) * self.spatial_slope[0] + Tensor(gaps) * self.temporal_slope[0]
+        )
+        return bias
+
+    def _attention_layer(self, x: Tensor, q, k, v, bias: Tensor, mask) -> Tensor:
+        scores = (q(x) @ k(x).transpose()) * (1.0 / np.sqrt(self.dim)) + bias
+        weights = softmax(masked_fill(scores, mask, -1e9), axis=-1)
+        return weights @ v(x)
+
+    def score(self, sample: PredictionSample) -> Tensor:
+        x = self.embedder(sample)
+        bias = self._interval_bias(sample)
+        mask = causal_mask(x.shape[0])
+        x = x + self._attention_layer(x, self.q1, self.k1, self.v1, bias, mask)
+        x = x + self._attention_layer(x, self.q2, self.k2, self.v2, bias, mask)
+        logits = self.head(x[x.shape[0] - 1])
+        # PIF: personalised item frequency over prefix + history
+        frequency = np.zeros(self.num_pois)
+        for visit in sample.prefix:
+            frequency[visit.poi_id] += 1.0
+        for visit in concat_history(sample.history):
+            frequency[visit.poi_id] += 1.0
+        return logits + Tensor(np.log1p(frequency)) * self.pif_weight[0]

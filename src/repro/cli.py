@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            list available experiment ids
+``run <id>``               regenerate one paper table/figure
+``stats <preset>``         print a dataset preset's statistics
+``train <preset>``         train TSPN-RA on a preset and report metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSPN-RA reproduction (ICDE 2024) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment ids")
+
+    run_parser = sub.add_parser("run", help="run one experiment by id")
+    run_parser.add_argument("experiment_id")
+    run_parser.add_argument("--profile", default=None, choices=("quick", "full"))
+
+    stats_parser = sub.add_parser("stats", help="dataset statistics (Table I row)")
+    stats_parser.add_argument("preset")
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument("--scale", type=float, default=0.5)
+
+    train_parser = sub.add_parser("train", help="train TSPN-RA on a preset")
+    train_parser.add_argument("preset")
+    train_parser.add_argument("--seed", type=int, default=0)
+    train_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "experiments":
+        from .experiments import EXPERIMENTS
+
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "run":
+        from .experiments import get_profile, run
+
+        profile = get_profile(args.profile) if args.profile else None
+        result = run(args.experiment_id, profile=profile)
+        print(result)
+        return 0
+
+    if args.command == "stats":
+        from .data import build_dataset, compute_stats
+
+        dataset = build_dataset(args.preset, seed=args.seed, scale=args.scale)
+        stats = compute_stats(dataset)
+        for field_name, value in vars(stats).items():
+            print(f"{field_name:24s} {value}")
+        return 0
+
+    if args.command == "train":
+        from .experiments import eval_model, get_profile, prepare, run_one
+
+        profile = get_profile(args.profile)
+        data = prepare(args.preset, profile, seed=args.seed)
+        metrics, _ = run_one("TSPN-RA", data, profile, seed=args.seed)
+        for name, value in metrics.items():
+            print(f"{name:12s} {value:.4f}")
+        return 0
+
+    return 1  # unreachable: argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

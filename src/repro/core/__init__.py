@@ -1,0 +1,46 @@
+"""TSPN-RA core: the paper's primary contribution."""
+
+from .config import TSPNRAConfig
+from .encoders import SpatialEncoder, TemporalEncoder, spatial_encoding
+from .fusion import AttentionBlock, FusionModule
+from .hgat import HGATEncoder, HGATLayer
+from .loss import arcface_loss, combined_loss, cosine_scores
+from .model import PredictionResult, TSPNRA
+from .poi_embedding import POIEmbedder
+from .tile_embedding import ImageTileEmbedder, TableTileEmbedder
+from .tilesystem import GridTileSystem, QuadTreeTileSystem
+from .two_step import (
+    candidate_pois,
+    rank_by_cosine,
+    rank_of_target,
+    rank_pois,
+    rank_tiles,
+    select_tiles,
+)
+
+__all__ = [
+    "AttentionBlock",
+    "FusionModule",
+    "GridTileSystem",
+    "HGATEncoder",
+    "HGATLayer",
+    "ImageTileEmbedder",
+    "POIEmbedder",
+    "PredictionResult",
+    "QuadTreeTileSystem",
+    "SpatialEncoder",
+    "TSPNRA",
+    "TSPNRAConfig",
+    "TableTileEmbedder",
+    "TemporalEncoder",
+    "arcface_loss",
+    "candidate_pois",
+    "combined_loss",
+    "cosine_scores",
+    "rank_by_cosine",
+    "rank_of_target",
+    "rank_pois",
+    "rank_tiles",
+    "select_tiles",
+    "spatial_encoding",
+]

@@ -1,0 +1,74 @@
+"""Spatial and temporal encoders (paper Sec. IV-A, Fig. 7).
+
+The spatial encoder Ms is the fixed sinusoidal position code of Eq. 4:
+the first half of the embedding dimensions encode x, the second half
+encode y.  Nearby locations get high-cosine-similarity codes (paper
+Fig. 8).  The temporal encoder Mt adds a learnable embedding of the
+half-hour-of-day slot (48 slots).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.checkin import SLOTS_PER_DAY, time_slot
+from ..nn import Embedding, Module
+from ..utils.rng import default_rng
+
+
+def spatial_encoding(
+    locations: np.ndarray, dim: int, scale: float = 100.0
+) -> np.ndarray:
+    """Eq. 4 sinusoidal code for ``(n, 2)`` unit-square locations.
+
+    ``scale`` stretches the unit square before encoding so the highest
+    sinusoid frequency actually varies across a city block; without it
+    sin(x) with x in [0, 1] is nearly linear and all codes collapse
+    together (the paper feeds raw projected coordinates, which span a
+    comparable numeric range).
+    """
+    if dim % 4 != 0:
+        raise ValueError("dim must be divisible by 4")
+    locations = np.asarray(locations, dtype=np.float64)
+    if locations.ndim == 1:
+        locations = locations[None, :]
+    n = len(locations)
+    out = np.zeros((n, dim), dtype=np.float64)
+    quarter = dim // 4
+    xs = locations[:, 0] * scale
+    ys = locations[:, 1] * scale
+    i = np.arange(quarter)
+    div = 10000.0 ** (2.0 * i / dim)  # (quarter,)
+    out[:, 0:dim // 2:2] = np.sin(xs[:, None] / div)
+    out[:, 1:dim // 2:2] = np.cos(xs[:, None] / div)
+    out[:, dim // 2::2] = np.sin(ys[:, None] / div)
+    out[:, dim // 2 + 1::2] = np.cos(ys[:, None] / div)
+    return out
+
+
+class SpatialEncoder(Module):
+    """Adds the Eq. 4 code to a tile-embedding sequence: h_s = E_T(tau) + h_loc."""
+
+    def __init__(self, dim: int, scale: float = 100.0):
+        super().__init__()
+        self.dim = dim
+        self.scale = scale
+
+    def forward(self, embeddings: Tensor, locations: np.ndarray) -> Tensor:
+        code = spatial_encoding(locations, self.dim, scale=self.scale)
+        return embeddings + Tensor(code)
+
+
+class TemporalEncoder(Module):
+    """Adds a learnable 48-slot time-of-day embedding: h = h_s + h_t."""
+
+    def __init__(self, dim: int, rng=None):
+        super().__init__()
+        self.slots = Embedding(SLOTS_PER_DAY, dim, rng=rng or default_rng())
+
+    def forward(self, embeddings: Tensor, timestamps: Sequence[float]) -> Tensor:
+        slots = np.array([time_slot(t) for t in timestamps], dtype=np.int64)
+        return embeddings + self.slots(slots)

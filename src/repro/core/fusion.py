@@ -1,0 +1,78 @@
+"""Attention-based embedding fusion, modules MP1 / MP2 (paper Sec. V-A).
+
+Each of the N blocks applies:
+
+1. masked sequential self-attention (inverted-triangle mask),
+2. add & layer-normalise (ResNet shortcut),
+3. cross attention: query = current sequence, key/value = historical
+   graph knowledge (H_T◁ or H_P◁),
+4. position-wise feed-forward with ReLU.
+
+The output vector is the last position of the final sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..autograd import Tensor
+from ..nn import (
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    causal_mask,
+)
+from ..utils.rng import default_rng
+
+
+class AttentionBlock(Module):
+    """One fusion block AB_i(., .)."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.1, rng=None):
+        super().__init__()
+        rng = rng or default_rng()
+        self.self_attention = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.cross_attention = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.feed_forward = Linear(dim, dim, rng=rng)
+        self.norm3 = LayerNorm(dim)
+        self.drop = Dropout(dropout)
+
+    def forward(self, sequence: Tensor, history: Optional[Tensor]) -> Tensor:
+        length = sequence.shape[0]
+        mask = causal_mask(length)
+        attended = self.self_attention(sequence, sequence, sequence, mask=mask)
+        sequence = self.norm1(sequence + self.drop(attended))
+        if history is not None and history.shape[0] > 0:
+            crossed = self.cross_attention(sequence, history, history)
+            sequence = self.norm2(sequence + self.drop(crossed))
+        forwarded = self.feed_forward(sequence).relu()
+        return self.norm3(sequence + self.drop(forwarded))
+
+
+class FusionModule(Module):
+    """MP1 (tiles) / MP2 (POIs): N blocks, returns the last position."""
+
+    def __init__(
+        self, dim: int, num_heads: int = 4, num_layers: int = 2, dropout: float = 0.1, rng=None
+    ):
+        super().__init__()
+        rng = rng or default_rng()
+        self.blocks = ModuleList(
+            [AttentionBlock(dim, num_heads, dropout=dropout, rng=rng) for _ in range(num_layers)]
+        )
+
+    def forward(self, sequence: Tensor, history: Optional[Tensor]) -> Tensor:
+        """``sequence``: (L, dim); ``history``: (H, dim) or None.
+
+        Returns h_out, shape ``(dim,)`` — the representation used for
+        candidate ranking.
+        """
+        out = sequence
+        for block in self.blocks:
+            out = block(out, history)
+        return out[out.shape[0] - 1]

@@ -1,0 +1,302 @@
+"""TSPN-RA: Two-Step Prediction Network with Remote sensing Augmentation.
+
+The top-level model (paper Fig. 5).  A forward pass for one prediction
+sample runs:
+
+1. **Data extraction** — prefix POI / tile sequences plus the QR-P
+   graph of the user's history (built by the tile system and cached per
+   current-trajectory).
+2. **Feature embedding** — Me1 (CNN over tile imagery), Me2 (POI id +
+   category), spatial encoder Ms (Eq. 4), temporal encoders Mt,
+   HGAT M_G over the QR-P graph.
+3. **Two-step prediction** — fusion modules MP1/MP2 produce
+   h_out_tau / h_out_p; step one ranks leaf tiles, step two ranks the
+   POIs inside the top-K tiles.
+
+All Table IV ablations are configuration switches
+(:class:`~repro.core.config.TSPNRAConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, concat, no_grad
+from ..data.trajectory import PredictionSample
+from ..graphs import QRPGraph, strip_edges
+from ..nn import Module
+from ..utils.rng import default_rng, derive
+from .config import TSPNRAConfig
+from .encoders import SpatialEncoder, TemporalEncoder
+from .fusion import FusionModule
+from .hgat import HGATEncoder
+from .loss import arcface_loss, combined_loss
+from .poi_embedding import POIEmbedder
+from .tile_embedding import ImageTileEmbedder, TableTileEmbedder
+from .two_step import (
+    candidate_pois,
+    rank_of_target,
+    rank_pois,
+    rank_tiles,
+    select_tiles,
+)
+
+
+@dataclass
+class PredictionResult:
+    """Output of one inference: both ranked lists plus bookkeeping."""
+
+    ranked_tiles: List[int]
+    ranked_pois: List[int]
+    target_tile: int
+    target_poi: int
+
+    @property
+    def poi_rank(self) -> int:
+        return rank_of_target(self.ranked_pois, self.target_poi)
+
+    @property
+    def tile_rank(self) -> int:
+        return rank_of_target(self.ranked_tiles, self.target_tile)
+
+
+class TSPNRA(Module):
+    """The full model.  Use :meth:`from_dataset` for the common path."""
+
+    def __init__(
+        self,
+        tile_system,
+        imagery,
+        num_pois: int,
+        num_categories: int,
+        categories: np.ndarray,
+        normalized_xy: np.ndarray,
+        config: Optional[TSPNRAConfig] = None,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng or default_rng()
+        self.config = config or TSPNRAConfig()
+        self.tile_system = tile_system
+        self.num_pois = num_pois
+        self.normalized_xy = np.asarray(normalized_xy, dtype=np.float64)
+        dim = self.config.dim
+
+        if self.config.use_imagery:
+            self.tile_embedder = ImageTileEmbedder(
+                imagery, tile_system.num_tiles, dim, rng=rng
+            )
+        else:
+            self.tile_embedder = TableTileEmbedder(tile_system.num_tiles, dim, rng=rng)
+        self.poi_embedder = POIEmbedder(
+            num_pois,
+            num_categories,
+            categories,
+            dim,
+            alpha=self.config.alpha,
+            use_category=self.config.use_category,
+            rng=rng,
+        )
+        if self.config.use_st_encoder:
+            self.spatial_encoder = SpatialEncoder(dim, scale=self.config.spatial_scale)
+            self.tile_temporal = TemporalEncoder(dim, rng=rng)
+            self.poi_temporal = TemporalEncoder(dim, rng=rng)
+        if self.config.use_graph:
+            self.hgat = HGATEncoder(dim, num_layers=self.config.hgat_layers, rng=rng)
+        self.fusion_tile = FusionModule(
+            dim,
+            num_heads=self.config.num_heads,
+            num_layers=self.config.fusion_layers,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+        self.fusion_poi = FusionModule(
+            dim,
+            num_heads=self.config.num_heads,
+            num_layers=self.config.fusion_layers,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+
+        self._leaf_ids = list(tile_system.leaves())
+        self._leaf_index = {leaf: i for i, leaf in enumerate(self._leaf_ids)}
+        self._leaf_array = np.asarray(self._leaf_ids, dtype=np.int64)
+        # cache of (graph, HGAT masks) keyed by (user, trajectory index)
+        self._graph_cache: Dict[Tuple[int, int], Tuple[QRPGraph, dict]] = {}
+        self._negative_rng = derive(rng, 17)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset, config: Optional[TSPNRAConfig] = None, rng=None) -> "TSPNRA":
+        """Build the model for a :class:`repro.data.Dataset`."""
+        from .tilesystem import QuadTreeTileSystem
+
+        tile_system = QuadTreeTileSystem(dataset.quadtree, dataset.road_adjacency)
+        pois = dataset.city.pois
+        normalized = np.array(
+            [dataset.spec.bbox.normalize(x, y) for x, y in pois.xy], dtype=np.float64
+        )
+        return cls(
+            tile_system=tile_system,
+            imagery=dataset.imagery,
+            num_pois=len(pois),
+            num_categories=pois.num_categories,
+            categories=pois.categories,
+            normalized_xy=normalized,
+            config=config,
+            rng=rng,
+        )
+
+    @property
+    def leaf_ids(self) -> List[int]:
+        return list(self._leaf_ids)
+
+    # ------------------------------------------------------------------
+    # embeddings
+    # ------------------------------------------------------------------
+    def compute_embeddings(self) -> Tuple[Tensor, Tensor]:
+        """E_T for all tiles and E_P for all POIs (one graph per batch)."""
+        return self.tile_embedder.all_embeddings(), self.poi_embedder.all_embeddings()
+
+    def _qrp_for(self, sample: PredictionSample) -> Tuple[QRPGraph, dict]:
+        key = sample.history_key
+        if key not in self._graph_cache:
+            qrp = self.tile_system.build_graph(sample.history)
+            if self.config.drop_edge_type:
+                qrp = strip_edges(qrp, self.config.drop_edge_type)
+            masks = (
+                HGATEncoder.build_masks(qrp) if self.config.use_graph and not qrp.is_empty else {}
+            )
+            self._graph_cache[key] = (qrp, masks)
+        return self._graph_cache[key]
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(
+        self, sample: PredictionSample, tile_embeddings: Tensor, poi_embeddings: Tensor
+    ) -> Tuple[Tensor, Tensor]:
+        """Fused output vectors (h_out_tau, h_out_p) for one sample."""
+        prefix_ids = np.asarray(sample.prefix_poi_ids, dtype=np.int64)
+        timestamps = [v.timestamp for v in sample.prefix]
+        tile_ids = np.asarray(
+            [self.tile_system.leaf_of_poi(int(p)) for p in prefix_ids], dtype=np.int64
+        )
+
+        tile_sequence = tile_embeddings[tile_ids]
+        poi_sequence = poi_embeddings[prefix_ids]
+        if self.config.use_st_encoder:
+            locations = self.normalized_xy[prefix_ids]
+            tile_sequence = self.spatial_encoder(tile_sequence, locations)
+            tile_sequence = self.tile_temporal(tile_sequence, timestamps)
+            poi_sequence = self.poi_temporal(poi_sequence, timestamps)
+
+        history_tiles: Optional[Tensor] = None
+        history_pois: Optional[Tensor] = None
+        if self.config.use_graph and sample.history:
+            qrp, masks = self._qrp_for(sample)
+            if not qrp.is_empty:
+                initial = concat(
+                    [
+                        tile_embeddings[np.asarray(qrp.tile_refs, dtype=np.int64)],
+                        poi_embeddings[np.asarray(qrp.poi_refs, dtype=np.int64)],
+                    ],
+                    axis=0,
+                )
+                knowledge = self.hgat(qrp, initial, masks=masks)
+                n_tiles = len(qrp.tile_refs)
+                history_tiles = knowledge[0:n_tiles]
+                history_pois = knowledge[n_tiles:]
+
+        tile_output = self.fusion_tile(tile_sequence, history_tiles)
+        poi_output = self.fusion_poi(poi_sequence, history_pois)
+        return tile_output, poi_output
+
+    # ------------------------------------------------------------------
+    # training loss
+    # ------------------------------------------------------------------
+    def loss_sample(
+        self, sample: PredictionSample, tile_embeddings: Tensor, poi_embeddings: Tensor
+    ) -> Tensor:
+        """Eq. 8 combined loss for one sample."""
+        tile_output, poi_output = self.encode(sample, tile_embeddings, poi_embeddings)
+        config = self.config
+        target_poi = sample.target.poi_id
+        target_leaf = self.tile_system.leaf_of_poi(target_poi)
+
+        leaf_embeddings = tile_embeddings[self._leaf_array]
+        tile_loss = arcface_loss(
+            tile_output,
+            leaf_embeddings,
+            self._leaf_index[target_leaf],
+            scale=config.loss_scale,
+            margin=config.loss_margin,
+        )
+
+        if config.use_two_step:
+            top = select_tiles(
+                tile_output.data, leaf_embeddings.data, self._leaf_ids, config.top_k
+            )
+            candidates = candidate_pois(self.tile_system, top)
+            if target_poi not in candidates:
+                candidates.append(target_poi)
+        else:
+            negatives = self._negative_rng.choice(
+                self.num_pois,
+                size=min(config.negatives_no_two_step, self.num_pois - 1),
+                replace=False,
+            )
+            candidates = [target_poi] + [int(n) for n in negatives if n != target_poi]
+        candidate_array = np.asarray(candidates, dtype=np.int64)
+        target_position = int(np.nonzero(candidate_array == target_poi)[0][0])
+        poi_loss = arcface_loss(
+            poi_output,
+            poi_embeddings[candidate_array],
+            target_position,
+            scale=config.loss_scale,
+            margin=config.loss_margin,
+        )
+        return combined_loss(tile_loss, poi_loss, beta=config.beta)
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        sample: PredictionSample,
+        tile_embeddings: Optional[Tensor] = None,
+        poi_embeddings: Optional[Tensor] = None,
+        k: Optional[int] = None,
+    ) -> PredictionResult:
+        """Rank tiles then POIs for one sample (no gradients)."""
+        k = k if k is not None else self.config.top_k
+        with no_grad():
+            if tile_embeddings is None or poi_embeddings is None:
+                tile_embeddings, poi_embeddings = self.compute_embeddings()
+            tile_output, poi_output = self.encode(sample, tile_embeddings, poi_embeddings)
+            leaf_embeddings = tile_embeddings.data[self._leaf_array]
+            ranked_tiles = rank_tiles(tile_output.data, leaf_embeddings, self._leaf_ids)
+            if self.config.use_two_step:
+                candidates = candidate_pois(self.tile_system, ranked_tiles[:k])
+            else:
+                candidates = list(range(self.num_pois))
+            candidate_array = np.asarray(candidates, dtype=np.int64)
+            ranked_pois = rank_pois(
+                poi_output.data,
+                poi_embeddings.data[candidate_array] if len(candidates) else np.zeros((0, self.config.dim)),
+                candidates,
+            )
+        return PredictionResult(
+            ranked_tiles=ranked_tiles,
+            ranked_pois=ranked_pois,
+            target_tile=self.tile_system.leaf_of_poi(sample.target.poi_id),
+            target_poi=sample.target.poi_id,
+        )
+
+    def clear_graph_cache(self) -> None:
+        self._graph_cache.clear()

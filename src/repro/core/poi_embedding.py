@@ -1,0 +1,54 @@
+"""POI embedding module Me2 (paper Sec. IV-B, Eq. 5).
+
+``E_P(p) = alpha * embed_id(p.id) + (1 - alpha) * embed_cate(p.cate)``
+
+With ``use_category=False`` (Table IV "No POI Category") the category
+term is dropped and the id embedding is used alone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Embedding, Module
+from ..utils.rng import default_rng
+
+
+class POIEmbedder(Module):
+    """Id + category embedding table for the whole POI set."""
+
+    def __init__(
+        self,
+        num_pois: int,
+        num_categories: int,
+        categories: np.ndarray,
+        dim: int,
+        alpha: float = 0.7,
+        use_category: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng or default_rng()
+        if len(categories) != num_pois:
+            raise ValueError("categories must give one category per POI")
+        self.num_pois = num_pois
+        self.alpha = alpha
+        self.use_category = use_category
+        self.categories = np.asarray(categories, dtype=np.int64)
+        self.id_table = Embedding(num_pois, dim, rng=rng)
+        self.cate_table = Embedding(num_categories, dim, rng=rng)
+
+    def forward(self, poi_ids: Sequence[int]) -> Tensor:
+        ids = np.asarray(poi_ids, dtype=np.int64)
+        id_part = self.id_table(ids)
+        if not self.use_category:
+            return id_part
+        cate_part = self.cate_table(self.categories[ids])
+        return id_part * self.alpha + cate_part * (1.0 - self.alpha)
+
+    def all_embeddings(self) -> Tensor:
+        """E_P for the full POI set, shape ``(num_pois, dim)``."""
+        return self.forward(np.arange(self.num_pois))

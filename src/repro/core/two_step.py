@@ -1,0 +1,71 @@
+"""Two-step prediction: tile selection then POI ranking (paper Sec. V-B).
+
+Step one ranks all leaf tiles by cosine similarity to the fused tile
+vector h_out_tau; step two restricts POI candidates to the top-K tiles
+and ranks them by cosine similarity to h_out_p.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+
+def rank_by_cosine(output: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Indices of ``candidates`` rows sorted by descending cosine sim."""
+    out_norm = output / (np.linalg.norm(output) + 1e-12)
+    cand_norm = candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
+    sims = cand_norm @ out_norm
+    return np.argsort(-sims, kind="stable")
+
+
+def select_tiles(
+    tile_output: np.ndarray,
+    leaf_embeddings: np.ndarray,
+    leaf_ids: Sequence[int],
+    k: int,
+) -> List[int]:
+    """Step one: the top-K leaf tiles R_T[1:K]."""
+    order = rank_by_cosine(tile_output, leaf_embeddings)
+    return [leaf_ids[i] for i in order[:k]]
+
+
+def rank_tiles(
+    tile_output: np.ndarray,
+    leaf_embeddings: np.ndarray,
+    leaf_ids: Sequence[int],
+) -> List[int]:
+    """The full ranked tile list R_T."""
+    order = rank_by_cosine(tile_output, leaf_embeddings)
+    return [leaf_ids[i] for i in order]
+
+
+def candidate_pois(tile_system, top_tiles: Sequence[int]) -> List[int]:
+    """POIs located inside the top-K tiles (step-two candidate set)."""
+    pois: List[int] = []
+    for tile in top_tiles:
+        pois.extend(tile_system.pois_in_leaf(tile))
+    return pois
+
+
+def rank_pois(
+    poi_output: np.ndarray,
+    poi_embeddings: np.ndarray,
+    candidate_ids: Sequence[int],
+) -> List[int]:
+    """Step two: the ranked POI list R_P over the candidate set."""
+    if len(candidate_ids) == 0:
+        return []
+    order = rank_by_cosine(poi_output, poi_embeddings)
+    return [candidate_ids[i] for i in order]
+
+
+def rank_of_target(ranking: Sequence[int], target: int) -> int:
+    """1-based rank; ``len(ranking) + 1`` when absent (paper Eq. 1)."""
+    for position, item in enumerate(ranking, start=1):
+        if item == target:
+            return position
+    return len(ranking) + 1

@@ -1,0 +1,46 @@
+"""Check-in data substrate: records, windowing, synthesis, presets."""
+
+from .checkin import Checkin, CheckinDataset, time_slot
+from .datasets import Dataset, DatasetSpec, PRESET_NAMES, build_dataset, get_spec
+from .poi import POI, POISet
+from .splits import SplitSamples, make_samples, split_samples
+from .stats import DatasetStats, compute_stats
+from .synth import SynthConfig, SyntheticCity, UserProfile, generate_city
+from .trajectory import (
+    DEFAULT_GAP_HOURS,
+    PredictionSample,
+    Trajectory,
+    Visit,
+    concat_history,
+    samples_from_trajectories,
+    split_into_trajectories,
+)
+
+__all__ = [
+    "Checkin",
+    "CheckinDataset",
+    "DEFAULT_GAP_HOURS",
+    "Dataset",
+    "DatasetSpec",
+    "DatasetStats",
+    "POI",
+    "POISet",
+    "PRESET_NAMES",
+    "PredictionSample",
+    "SplitSamples",
+    "SynthConfig",
+    "SyntheticCity",
+    "Trajectory",
+    "UserProfile",
+    "Visit",
+    "build_dataset",
+    "compute_stats",
+    "concat_history",
+    "generate_city",
+    "get_spec",
+    "make_samples",
+    "samples_from_trajectories",
+    "split_into_trajectories",
+    "split_samples",
+    "time_slot",
+]

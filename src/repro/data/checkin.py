@@ -1,0 +1,66 @@
+"""Check-in records: (user, POI, timestamp) triples.
+
+Timestamps are float *hours* from an arbitrary epoch; half-hour slot
+indices for the temporal encoder (paper Sec. IV-A: "divide a day into
+48 time intervals") derive directly from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+HOURS_PER_DAY = 24.0
+SLOTS_PER_DAY = 48
+
+
+def time_slot(timestamp_hours: float) -> int:
+    """Half-hour slot of day in [0, 48)."""
+    return int((timestamp_hours % HOURS_PER_DAY) * 2) % SLOTS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Checkin:
+    user_id: int
+    poi_id: int
+    timestamp: float  # hours
+
+    @property
+    def slot(self) -> int:
+        return time_slot(self.timestamp)
+
+
+class CheckinDataset:
+    """All check-ins, indexed by user and sorted by time within a user."""
+
+    def __init__(self, checkins: List[Checkin]):
+        self._by_user: Dict[int, List[Checkin]] = {}
+        for record in checkins:
+            self._by_user.setdefault(record.user_id, []).append(record)
+        for user, records in self._by_user.items():
+            records.sort(key=lambda r: r.timestamp)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_user.values())
+
+    @property
+    def num_users(self) -> int:
+        return len(self._by_user)
+
+    def users(self) -> List[int]:
+        return sorted(self._by_user)
+
+    def of_user(self, user_id: int) -> List[Checkin]:
+        return list(self._by_user.get(user_id, []))
+
+    def all_checkins(self) -> Iterator[Checkin]:
+        for user in self.users():
+            yield from self._by_user[user]
+
+    def poi_visit_counts(self, num_pois: int) -> np.ndarray:
+        counts = np.zeros(num_pois, dtype=np.int64)
+        for record in self.all_checkins():
+            counts[record.poi_id] += 1
+        return counts

@@ -1,0 +1,82 @@
+"""Train/validation/test splitting.
+
+The paper randomly assigns 80% of trajectories to training, 10% to
+validation and 10% to test (Sec. VI-A, implementation details).  The
+split happens at the *sample* level here: a sample's history is always
+composed of the user's earlier trajectories regardless of which split
+the current trajectory landed in, matching how the original pipeline
+feeds full user history at evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .datasets import Dataset
+from .trajectory import PredictionSample, samples_from_trajectories
+
+
+@dataclass
+class SplitSamples:
+    train: List[PredictionSample]
+    valid: List[PredictionSample]
+    test: List[PredictionSample]
+
+    def __iter__(self):
+        return iter((self.train, self.valid, self.test))
+
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.train), len(self.valid), len(self.test)
+
+
+def make_samples(
+    dataset: Dataset,
+    last_only: bool = False,
+    min_prefix: int = 1,
+) -> List[PredictionSample]:
+    """All prediction samples across users (time-ordered within a user)."""
+    samples: List[PredictionSample] = []
+    for user, trajectories in dataset.trajectories.items():
+        samples.extend(
+            samples_from_trajectories(trajectories, min_prefix=min_prefix, last_only=last_only)
+        )
+    return samples
+
+
+def split_samples(
+    samples: List[PredictionSample],
+    seed: int = 0,
+    fractions: Tuple[float, float, float] = (0.8, 0.1, 0.1),
+) -> SplitSamples:
+    """Randomly split 80/10/10 **by trajectory** (paper protocol).
+
+    The unit of assignment is the trajectory, not the sample: all
+    prediction samples carved from one trajectory land in the same
+    split.  Splitting at the sample level would leak — a trajectory's
+    longer-prefix training sample contains its shorter-prefix test
+    sample's transition verbatim, which lets even a first-order Markov
+    chain read answers off the training set.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    trajectory_keys = sorted({s.history_key for s in samples})
+    order = rng.permutation(len(trajectory_keys))
+    n_train = int(fractions[0] * len(trajectory_keys))
+    n_valid = int(fractions[1] * len(trajectory_keys))
+    assignment: Dict[Tuple[int, int], str] = {}
+    for position, key_index in enumerate(order):
+        if position < n_train:
+            bucket = "train"
+        elif position < n_train + n_valid:
+            bucket = "valid"
+        else:
+            bucket = "test"
+        assignment[trajectory_keys[key_index]] = bucket
+    buckets: Dict[str, List[PredictionSample]] = {"train": [], "valid": [], "test": []}
+    for sample in samples:
+        buckets[assignment[sample.history_key]].append(sample)
+    return SplitSamples(train=buckets["train"], valid=buckets["valid"], test=buckets["test"])

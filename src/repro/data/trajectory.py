@@ -1,0 +1,145 @@
+"""Trajectory windowing and prediction samples.
+
+The paper (Sec. II-A) cuts each user's check-in stream into disjoint
+trajectories whenever the gap between consecutive check-ins is at least
+Δt = 72 hours.  A *prediction sample* is then: the historical
+trajectories S_◁i, a prefix of the current trajectory S_Ti[1:j-1], and
+the ground-truth next POI p_j.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from .checkin import Checkin
+
+DEFAULT_GAP_HOURS = 72.0
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One (POI, timestamp) record inside a trajectory."""
+
+    poi_id: int
+    timestamp: float
+
+
+@dataclass
+class Trajectory:
+    """A maximal run of visits with no internal gap >= Δt."""
+
+    user_id: int
+    visits: List[Visit]
+
+    def __len__(self) -> int:
+        return len(self.visits)
+
+    def __iter__(self) -> Iterator[Visit]:
+        return iter(self.visits)
+
+    @property
+    def poi_ids(self) -> List[int]:
+        return [v.poi_id for v in self.visits]
+
+    @property
+    def timestamps(self) -> List[float]:
+        return [v.timestamp for v in self.visits]
+
+    @property
+    def start(self) -> float:
+        return self.visits[0].timestamp
+
+    @property
+    def end(self) -> float:
+        return self.visits[-1].timestamp
+
+
+def split_into_trajectories(
+    checkins: Sequence[Checkin], gap_hours: float = DEFAULT_GAP_HOURS
+) -> List[Trajectory]:
+    """Split one user's time-sorted check-ins at gaps >= ``gap_hours``."""
+    if not checkins:
+        return []
+    user = checkins[0].user_id
+    trajectories: List[Trajectory] = []
+    current: List[Visit] = [Visit(checkins[0].poi_id, checkins[0].timestamp)]
+    for prev, record in zip(checkins, checkins[1:]):
+        if record.user_id != user:
+            raise ValueError("split_into_trajectories expects a single user's records")
+        if record.timestamp < prev.timestamp:
+            raise ValueError("check-ins must be sorted by time")
+        if record.timestamp - prev.timestamp >= gap_hours:
+            trajectories.append(Trajectory(user_id=user, visits=current))
+            current = []
+        current.append(Visit(record.poi_id, record.timestamp))
+    trajectories.append(Trajectory(user_id=user, visits=current))
+    return trajectories
+
+
+@dataclass
+class PredictionSample:
+    """One next-POI prediction instance.
+
+    ``history`` are the user's complete earlier trajectories (the input
+    to QR-P graph construction); ``prefix`` is the visited part of the
+    current trajectory; ``target`` is the POI actually visited next.
+    ``history_key`` identifies (user, current-trajectory index) so QR-P
+    graphs can be cached per current trajectory.
+    """
+
+    user_id: int
+    history: List[Trajectory]
+    prefix: List[Visit]
+    target: Visit
+    history_key: Tuple[int, int] = field(default=(0, 0))
+
+    @property
+    def prefix_poi_ids(self) -> List[int]:
+        return [v.poi_id for v in self.prefix]
+
+
+def samples_from_trajectories(
+    trajectories: List[Trajectory],
+    min_prefix: int = 1,
+    last_only: bool = False,
+) -> List[PredictionSample]:
+    """Expand one user's trajectory sequence into prediction samples.
+
+    With ``last_only`` each trajectory contributes a single sample
+    (predict its final visit); otherwise every position after
+    ``min_prefix`` becomes a target, the common next-POI protocol.
+    """
+    samples: List[PredictionSample] = []
+    for index, trajectory in enumerate(trajectories):
+        if len(trajectory) < min_prefix + 1:
+            continue
+        history = trajectories[:index]
+        positions = (
+            [len(trajectory) - 1]
+            if last_only
+            else range(min_prefix, len(trajectory))
+        )
+        for j in positions:
+            samples.append(
+                PredictionSample(
+                    user_id=trajectory.user_id,
+                    history=history,
+                    prefix=trajectory.visits[:j],
+                    target=trajectory.visits[j],
+                    history_key=(trajectory.user_id, index),
+                )
+            )
+    return samples
+
+
+def concat_history(history: List[Trajectory]) -> List[Visit]:
+    """Time-ordered concatenation of historical trajectories.
+
+    This is the "whole trajectory sequence" the paper feeds to QR-P
+    graph construction (phase 1 discussion).
+    """
+    visits: List[Visit] = []
+    for trajectory in sorted(history, key=lambda t: t.start):
+        visits.extend(trajectory.visits)
+    return visits

@@ -1,0 +1,18 @@
+"""Evaluation: metrics, evaluation loops, efficiency probes."""
+
+from .efficiency import EfficiencyReport, measure
+from .evaluator import collect_ranks, collect_tile_ranks, evaluate
+from .metrics import DEFAULT_KS, metric_table, mrr, ndcg_at_k, recall_at_k
+
+__all__ = [
+    "DEFAULT_KS",
+    "EfficiencyReport",
+    "collect_ranks",
+    "collect_tile_ranks",
+    "evaluate",
+    "measure",
+    "metric_table",
+    "mrr",
+    "ndcg_at_k",
+    "recall_at_k",
+]

@@ -1,0 +1,56 @@
+"""Evaluation loop: run a model over test samples and compute metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..autograd import no_grad
+from ..data.trajectory import PredictionSample
+from .metrics import DEFAULT_KS, metric_table
+
+
+def collect_ranks(model, samples: Sequence[PredictionSample]) -> List[int]:
+    """Target POI rank for every sample.
+
+    Works for any model exposing the next-POI interface
+    (``predict(sample, ...)`` returning an object with ``poi_rank``,
+    as both TSPN-RA and all baselines do).
+    """
+    model.eval()
+    ranks: List[int] = []
+    with no_grad():
+        shared = _shared_state(model)
+        for sample in samples:
+            result = model.predict(sample, *shared)
+            ranks.append(result.poi_rank)
+    model.train()
+    return ranks
+
+
+def _shared_state(model) -> tuple:
+    """Per-evaluation precomputation (embedding tables), when supported."""
+    if hasattr(model, "compute_embeddings"):
+        return model.compute_embeddings()
+    return ()
+
+
+def evaluate(
+    model,
+    samples: Sequence[PredictionSample],
+    ks: Iterable[int] = DEFAULT_KS,
+) -> Dict[str, float]:
+    """Metric table (Recall@K / NDCG@K / MRR) over a sample set."""
+    return metric_table(collect_ranks(model, samples), ks=ks)
+
+
+def collect_tile_ranks(model, samples: Sequence[PredictionSample]) -> List[int]:
+    """Target *tile* rank per sample (used by the Fig. 11 analysis)."""
+    model.eval()
+    ranks: List[int] = []
+    with no_grad():
+        shared = _shared_state(model)
+        for sample in samples:
+            result = model.predict(sample, *shared)
+            ranks.append(result.tile_rank)
+    model.train()
+    return ranks

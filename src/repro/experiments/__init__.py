@@ -1,0 +1,48 @@
+"""Experiment harness: profiles, runners for every table and figure."""
+
+from .harness import (
+    ALL_MODELS,
+    PreparedData,
+    build_model,
+    eval_model,
+    prepare,
+    run_comparison,
+    run_one,
+    train_model,
+    tspnra_config,
+)
+from .profile import FULL, QUICK, ExperimentProfile, current_profile, get_profile
+from .registry import EXPERIMENTS, run
+from .reporting import (
+    METRIC_COLUMNS,
+    best_baseline,
+    format_results,
+    format_table,
+    improvement_row,
+    relative_drop,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "EXPERIMENTS",
+    "FULL",
+    "METRIC_COLUMNS",
+    "PreparedData",
+    "QUICK",
+    "ExperimentProfile",
+    "best_baseline",
+    "build_model",
+    "current_profile",
+    "eval_model",
+    "format_results",
+    "format_table",
+    "get_profile",
+    "improvement_row",
+    "prepare",
+    "relative_drop",
+    "run",
+    "run_comparison",
+    "run_one",
+    "train_model",
+    "tspnra_config",
+]

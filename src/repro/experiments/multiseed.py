@@ -1,0 +1,57 @@
+"""Multi-seed experiment support.
+
+The paper reports "the average value of five experiments with
+different random seeds" (Sec. VI-B).  These helpers run any
+model/dataset combination across seeds and aggregate mean and standard
+deviation per metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import TSPNRAConfig
+from .harness import prepare, run_one
+from .profile import ExperimentProfile
+
+
+@dataclass
+class AggregatedMetrics:
+    """Mean and standard deviation per metric across seeds."""
+
+    mean: Dict[str, float]
+    std: Dict[str, float]
+    seeds: List[int]
+
+    def summary(self, columns: Sequence[str]) -> str:
+        return "  ".join(
+            f"{c}={self.mean.get(c, float('nan')):.4f}±{self.std.get(c, 0.0):.4f}"
+            for c in columns
+        )
+
+
+def run_multiseed(
+    model_name: str,
+    dataset_name: str,
+    profile: ExperimentProfile,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    config: Optional[TSPNRAConfig] = None,
+) -> AggregatedMetrics:
+    """Train/evaluate one model across several seeds.
+
+    Each seed regenerates the dataset, the split, the parameter init
+    and the training shuffle — the full stochastic pipeline, as in the
+    paper's protocol.
+    """
+    rows: List[Dict[str, float]] = []
+    for seed in seeds:
+        data = prepare(dataset_name, profile, seed=seed)
+        metrics, _ = run_one(model_name, data, profile, config=config, seed=seed)
+        rows.append(metrics)
+    keys = rows[0].keys()
+    mean = {k: float(np.mean([r[k] for r in rows])) for k in keys}
+    std = {k: float(np.std([r[k] for r in rows])) for k in keys}
+    return AggregatedMetrics(mean=mean, std=std, seeds=list(seeds))

@@ -1,0 +1,93 @@
+"""Experiment profiles: how much compute a reproduction run spends.
+
+The paper's experiments ran on GPUs against datasets with 10^5–10^6
+check-ins; this reproduction runs the same *pipelines* at selectable
+scale.  ``quick`` is sized for a laptop-CPU benchmark suite run;
+``full`` grows the datasets, model width and training length for
+tighter numbers.  Select via the ``REPRO_PROFILE`` environment
+variable or explicitly in code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """All scale knobs shared by table/figure runners."""
+
+    name: str
+    dataset_scale: float  # multiplies preset users/POIs
+    dim: int  # model width d_m
+    fusion_layers: int
+    hgat_layers: int
+    epochs: int
+    batch_size: int
+    lr: float
+    max_train_samples: Optional[int]
+    eval_samples: Optional[int]  # cap on test samples per evaluation
+    imagery_resolution: int
+    seed: int = 0
+
+    def smaller(self, factor: float = 0.5) -> "ExperimentProfile":
+        """A reduced copy (used by the heavier sweep figures)."""
+        return replace(
+            self,
+            dataset_scale=self.dataset_scale * factor,
+            max_train_samples=(
+                None
+                if self.max_train_samples is None
+                else max(40, int(self.max_train_samples * factor))
+            ),
+            eval_samples=(
+                None
+                if self.eval_samples is None
+                else max(30, int(self.eval_samples * factor))
+            ),
+        )
+
+
+QUICK = ExperimentProfile(
+    name="quick",
+    dataset_scale=0.6,
+    dim=32,
+    fusion_layers=1,
+    hgat_layers=1,
+    epochs=6,
+    batch_size=8,
+    lr=5e-3,
+    max_train_samples=400,
+    eval_samples=150,
+    imagery_resolution=32,
+)
+
+FULL = ExperimentProfile(
+    name="full",
+    dataset_scale=1.0,
+    dim=64,
+    fusion_layers=2,
+    hgat_layers=2,
+    epochs=10,
+    batch_size=8,
+    lr=2e-3,
+    max_train_samples=1500,
+    eval_samples=400,
+    imagery_resolution=32,
+)
+
+_PROFILES = {"quick": QUICK, "full": FULL}
+
+
+def current_profile() -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default: quick)."""
+    name = os.environ.get("REPRO_PROFILE", "quick").lower()
+    if name not in _PROFILES:
+        raise KeyError(f"REPRO_PROFILE={name!r} unknown; use one of {sorted(_PROFILES)}")
+    return _PROFILES[name]
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    return _PROFILES[name]

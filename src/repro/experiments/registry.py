@@ -1,0 +1,35 @@
+"""Experiment registry: one id per paper table/figure.
+
+``run("table2")`` regenerates the corresponding result with the
+current profile; the ``benchmarks/`` directory exposes the same ids to
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from . import figures, tables
+from .profile import ExperimentProfile, current_profile
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "table4": tables.run_table4,
+    "table5": tables.run_table5,
+    "fig8": lambda profile: figures.run_fig8(),
+    "fig10": figures.run_fig10,
+    "fig11": figures.run_fig11,
+    "fig12": figures.run_fig12,
+}
+
+
+def run(experiment_id: str, profile: Optional[ExperimentProfile] = None):
+    """Run one experiment by id with an optional explicit profile."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    profile = profile or current_profile()
+    return EXPERIMENTS[experiment_id](profile)

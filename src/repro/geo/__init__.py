@@ -1,0 +1,6 @@
+"""Geometric primitives: bounding boxes and distances."""
+
+from .bbox import BoundingBox
+from .distance import equirectangular_km, euclidean, haversine_km
+
+__all__ = ["BoundingBox", "equirectangular_km", "euclidean", "haversine_km"]

@@ -1,0 +1,80 @@
+"""Axis-aligned bounding boxes.
+
+All synthetic city spaces in this reproduction live in a planar
+coordinate system (kilometres or the unit square); a bounding box is
+the fundamental region abstraction shared by the quad-tree, the grid
+index, the imagery renderer and the road network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Half-open rectangle ``[min_x, max_x) x [min_y, max_y)``.
+
+    Half-open semantics guarantee that a point on an interior split line
+    belongs to exactly one quadrant, which is what gives the quad-tree
+    its "any POI is in exactly one leaf" invariant (paper Sec. II-A).
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self):
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.min_x + self.width / 2.0, self.min_y + self.height / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.min_x <= x < self.max_x and self.min_y <= y < self.max_y
+
+    def contains_closed(self, x: float, y: float) -> bool:
+        """Closed-interval containment, for boundary-inclusive queries."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        return not (
+            other.min_x >= self.max_x
+            or other.max_x <= self.min_x
+            or other.min_y >= self.max_y
+            or other.max_y <= self.min_y
+        )
+
+    def quadrants(self) -> Iterator["BoundingBox"]:
+        """Yield SW, SE, NW, NE quadrants (the quad-tree split)."""
+        cx, cy = self.center
+        yield BoundingBox(self.min_x, self.min_y, cx, cy)
+        yield BoundingBox(cx, self.min_y, self.max_x, cy)
+        yield BoundingBox(self.min_x, cy, cx, self.max_y)
+        yield BoundingBox(cx, cy, self.max_x, self.max_y)
+
+    def clamp(self, x: float, y: float) -> Tuple[float, float]:
+        """Project a point onto the box (used to keep walkers in bounds)."""
+        cx = min(max(x, self.min_x), self.max_x - 1e-9 * self.width)
+        cy = min(max(y, self.min_y), self.max_y - 1e-9 * self.height)
+        return cx, cy
+
+    def normalize(self, x: float, y: float) -> Tuple[float, float]:
+        """Map a point into unit-square coordinates relative to this box."""
+        return ((x - self.min_x) / self.width, (y - self.min_y) / self.height)

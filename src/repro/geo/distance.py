@@ -1,0 +1,34 @@
+"""Distance functions.
+
+Synthetic cities use planar kilometres (``euclidean``); the haversine
+and equirectangular variants are provided for users feeding real
+lat/lon check-in data through the same pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean(x1, y1, x2, y2):
+    """Planar distance; accepts scalars or numpy arrays."""
+    return np.sqrt((np.asarray(x2) - x1) ** 2 + (np.asarray(y2) - y1) ** 2)
+
+
+def haversine_km(lat1, lon1, lat2, lon2):
+    """Great-circle distance in kilometres between (lat, lon) pairs in degrees."""
+    lat1, lon1, lat2, lon2 = map(np.radians, (lat1, lon1, lat2, lon2))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def equirectangular_km(lat1, lon1, lat2, lon2):
+    """Fast flat-earth approximation, adequate at city scale."""
+    lat1r, lon1r, lat2r, lon2r = map(np.radians, (lat1, lon1, lat2, lon2))
+    x = (lon2r - lon1r) * np.cos((lat1r + lat2r) / 2.0)
+    y = lat2r - lat1r
+    return EARTH_RADIUS_KM * np.sqrt(x * x + y * y)

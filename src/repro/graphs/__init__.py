@@ -1,0 +1,13 @@
+"""Heterogeneous graphs and the QR-P graph construction."""
+
+from .hetero import EDGE_TYPES, NODE_TYPES, HeteroGraph
+from .qrp import QRPGraph, build_qrp_graph, strip_edges
+
+__all__ = [
+    "EDGE_TYPES",
+    "HeteroGraph",
+    "NODE_TYPES",
+    "QRPGraph",
+    "build_qrp_graph",
+    "strip_edges",
+]

@@ -1,0 +1,17 @@
+"""Synthetic remote-sensing imagery (the Google-Maps substitute)."""
+
+from .catalog import ImageryCatalog
+from .landuse import Blob, CityCenter, Coastline, LandUse, LandUseMap, random_land_use_map
+from .renderer import TileRenderer, add_noise
+
+__all__ = [
+    "Blob",
+    "CityCenter",
+    "Coastline",
+    "ImageryCatalog",
+    "LandUse",
+    "LandUseMap",
+    "TileRenderer",
+    "add_noise",
+    "random_land_use_map",
+]

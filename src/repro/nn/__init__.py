@@ -1,0 +1,42 @@
+"""Neural-network layers built on the repro autograd engine."""
+
+from .attention import MultiHeadAttention, SelfAttention, causal_mask
+from .layers import (
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .rnn import GRU, GRUCell, LSTM, DilatedLSTM, LSTMCell
+
+__all__ = [
+    "Conv2d",
+    "DilatedLSTM",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "MultiHeadAttention",
+    "Parameter",
+    "ReLU",
+    "SelfAttention",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "causal_mask",
+]

@@ -1,0 +1,91 @@
+"""Multi-head scaled dot-product attention.
+
+Used by the TSPN-RA fusion modules (masked self-attention and cross
+attention onto historical graph knowledge, paper Sec. V-A) and by the
+attention-based baselines (DeepMove, STAN, STiSAN, SAE-NAD).
+
+Sequences here are unbatched ``(length, dim)`` tensors; the training
+loop iterates trajectories, which matches the paper's small batch sizes
+and keeps variable-length handling trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, masked_fill, softmax
+from ..utils.rng import default_rng
+from .layers import Linear
+from .module import Module
+
+NEG_INF = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean mask that is True at positions a query must not attend to.
+
+    Implements the paper's "inverted triangle" mask M_mask: position u
+    may attend to positions v <= u only.
+    """
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with ``num_heads`` heads.
+
+    ``query``: ``(L_q, dim)``; ``key``/``value``: ``(L_k, dim)``.
+    ``mask`` (optional): boolean ``(L_q, L_k)``, True = blocked.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 4, rng=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_q = Linear(dim, dim, rng=rng)
+        self.w_k = Linear(dim, dim, rng=rng)
+        self.w_v = Linear(dim, dim, rng=rng)
+        self.w_o = Linear(dim, dim, rng=rng)
+
+    def _split(self, x: Tensor, length: int) -> Tensor:
+        # (L, dim) -> (heads, L, head_dim)
+        return x.reshape(length, self.num_heads, self.head_dim).transpose(1, 0, 2)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        l_q, l_k = query.shape[0], key.shape[0]
+        q = self._split(self.w_q(query), l_q)
+        k = self._split(self.w_k(key), l_k)
+        v = self._split(self.w_v(value), l_k)
+
+        scores = (q @ k.transpose(0, 2, 1)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = masked_fill(scores, mask[None, :, :], NEG_INF)
+        weights = softmax(scores, axis=-1)
+        attended = weights @ v  # (heads, L_q, head_dim)
+        merged = attended.transpose(1, 0, 2).reshape(l_q, self.dim)
+        return self.w_o(merged)
+
+
+class SelfAttention(MultiHeadAttention):
+    """Self-attention convenience wrapper (optionally causal)."""
+
+    def __init__(self, dim: int, num_heads: int = 4, causal: bool = False, rng=None):
+        super().__init__(dim, num_heads=num_heads, rng=rng)
+        self.causal = causal
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        if self.causal:
+            auto = causal_mask(x.shape[0])
+            mask = auto if mask is None else (auto | mask)
+        return super().forward(x, x, x, mask=mask)

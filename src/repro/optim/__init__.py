@@ -1,0 +1,7 @@
+"""Optimisers and learning-rate schedules."""
+
+from .adam import Adam
+from .scheduler import ExponentialDecay
+from .sgd import SGD
+
+__all__ = ["Adam", "ExponentialDecay", "SGD"]

@@ -1,0 +1,69 @@
+"""Adam optimiser (Kingma & Ba, 2015) — the paper's optimiser of choice."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+class Adam:
+    """Adam with optional decoupled weight decay and gradient clipping."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 2e-5,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: Optional[float] = None,
+    ):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def _clip(self) -> None:
+        if self.max_grad_norm is None:
+            return
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float((p.grad ** 2).sum())
+        norm = np.sqrt(total)
+        if norm > self.max_grad_norm and norm > 0:
+            scale = self.max_grad_norm / norm
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+
+    def step(self) -> None:
+        self._clip()
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                p.data = p.data * (1.0 - self.lr * self.weight_decay)
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[i] / correction1
+            v_hat = self._v[i] / correction2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,34 @@
+"""Plain SGD with momentum (used by ablation / sanity comparisons)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+
+class SGD:
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] + p.grad
+                update = self._velocity[i]
+            else:
+                update = p.grad
+            p.data = p.data - self.lr * update

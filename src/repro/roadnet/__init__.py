@@ -1,0 +1,12 @@
+"""Road network substrate: container, synthetic generators, tile adjacency."""
+
+from .adjacency import tile_road_adjacency
+from .generator import generate_state_network, generate_urban_network
+from .network import RoadNetwork
+
+__all__ = [
+    "RoadNetwork",
+    "generate_state_network",
+    "generate_urban_network",
+    "tile_road_adjacency",
+]

@@ -1,0 +1,137 @@
+"""Synthetic road network generation (the OpenStreetMap substitute).
+
+Two styles mirror the paper's two dataset families:
+
+* ``urban`` — a perturbed arterial grid with density that increases
+  toward the downtown core(s), plus diagonal avenues, mimicking NYC /
+  Tokyo street fabric.
+* ``state`` — sparse inter-city highways connecting dense local grids
+  around each city centre, mimicking Weeplaces' state-wide coverage.
+
+Only connectivity and spatial layout matter downstream (tile-to-tile
+road adjacency and rendered road pixels), not traffic semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo import BoundingBox
+from .network import RoadNetwork
+
+
+def generate_urban_network(
+    bbox: BoundingBox,
+    rng: np.random.Generator,
+    n_rows: int = 14,
+    n_cols: int = 14,
+    jitter: float = 0.15,
+    drop_rate: float = 0.08,
+    centers: Optional[Sequence[Tuple[float, float]]] = None,
+) -> RoadNetwork:
+    """Perturbed arterial grid with denser fabric near the centre."""
+    net = RoadNetwork()
+    xs = np.linspace(bbox.min_x, bbox.max_x, n_cols)
+    ys = np.linspace(bbox.min_y, bbox.max_y, n_rows)
+    dx = (xs[1] - xs[0]) if n_cols > 1 else bbox.width
+    dy = (ys[1] - ys[0]) if n_rows > 1 else bbox.height
+    node_of = {}
+    nid = 0
+    for r, y in enumerate(ys):
+        for c, x in enumerate(xs):
+            px = x + rng.normal(0.0, jitter * dx)
+            py = y + rng.normal(0.0, jitter * dy)
+            px, py = bbox.clamp(px, py)
+            net.add_intersection(nid, px, py)
+            node_of[(r, c)] = nid
+            nid += 1
+    for r in range(n_rows):
+        for c in range(n_cols):
+            if c + 1 < n_cols and rng.random() > drop_rate:
+                net.add_road(node_of[(r, c)], node_of[(r, c + 1)])
+            if r + 1 < n_rows and rng.random() > drop_rate:
+                net.add_road(node_of[(r, c)], node_of[(r + 1, c)])
+    # diagonal avenues through the centre(s)
+    centers = centers or [bbox.center]
+    for cx, cy in centers:
+        _add_diagonal(net, node_of, n_rows, n_cols, rng)
+    return net
+
+
+def _add_diagonal(net: RoadNetwork, node_of, n_rows: int, n_cols: int, rng) -> None:
+    r = int(rng.integers(0, max(1, n_rows - 1)))
+    c = 0
+    while r + 1 < n_rows and c + 1 < n_cols:
+        a = node_of[(r, c)]
+        b = node_of[(r + 1, c + 1)]
+        net.add_road(a, b, kind="avenue")
+        r, c = r + 1, c + 1
+
+
+def generate_state_network(
+    bbox: BoundingBox,
+    rng: np.random.Generator,
+    city_centers: Sequence[Tuple[float, float]],
+    local_grid: int = 5,
+    local_extent: float = 0.08,
+) -> RoadNetwork:
+    """Highways between cities plus a small dense grid inside each city.
+
+    ``local_extent`` is the city radius as a fraction of the bbox width.
+    """
+    if not city_centers:
+        raise ValueError("state network needs at least one city centre")
+    net = RoadNetwork()
+    nid = 0
+    city_hubs: List[int] = []
+    extent = local_extent * bbox.width
+    for cx, cy in city_centers:
+        first_local = nid
+        node_of = {}
+        xs = np.linspace(cx - extent, cx + extent, local_grid)
+        ys = np.linspace(cy - extent, cy + extent, local_grid)
+        for r, y in enumerate(ys):
+            for c, x in enumerate(xs):
+                px, py = bbox.clamp(x + rng.normal(0, extent * 0.05), y + rng.normal(0, extent * 0.05))
+                net.add_intersection(nid, px, py)
+                node_of[(r, c)] = nid
+                nid += 1
+        for r in range(local_grid):
+            for c in range(local_grid):
+                if c + 1 < local_grid:
+                    net.add_road(node_of[(r, c)], node_of[(r, c + 1)])
+                if r + 1 < local_grid:
+                    net.add_road(node_of[(r, c)], node_of[(r + 1, c)])
+        city_hubs.append(first_local + (local_grid // 2) * local_grid + local_grid // 2)
+    # chain cities along a minimum-ish spanning path: connect each city to
+    # its nearest already-connected neighbour, with waypoints so highways
+    # traverse intermediate tiles.
+    connected = [0]
+    for i in range(1, len(city_hubs)):
+        xi, yi = net.position(city_hubs[i])
+        nearest = min(
+            connected,
+            key=lambda j: (net.position(city_hubs[j])[0] - xi) ** 2
+            + (net.position(city_hubs[j])[1] - yi) ** 2,
+        )
+        _add_highway(net, city_hubs[i], city_hubs[nearest], rng, nid)
+        nid = net.num_intersections
+        connected.append(i)
+    return net
+
+
+def _add_highway(net: RoadNetwork, a: int, b: int, rng, next_id: int, waypoints: int = 3) -> None:
+    xa, ya = net.position(a)
+    xb, yb = net.position(b)
+    previous = a
+    for w in range(1, waypoints + 1):
+        t = w / (waypoints + 1)
+        wx = xa + t * (xb - xa) + rng.normal(0, 0.01 * abs(xb - xa) + 1e-9)
+        wy = ya + t * (yb - ya) + rng.normal(0, 0.01 * abs(yb - ya) + 1e-9)
+        net.add_intersection(next_id, wx, wy)
+        net.add_road(previous, next_id, kind="highway")
+        previous = next_id
+        next_id += 1
+    net.add_road(previous, b, kind="highway")

@@ -1,0 +1,6 @@
+"""Spatial partitioning: region quad-tree and the grid-ablation index."""
+
+from .grid import GridIndex
+from .quadtree import QuadTreeNode, RegionQuadTree
+
+__all__ = ["GridIndex", "QuadTreeNode", "RegionQuadTree"]

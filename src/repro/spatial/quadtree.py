@@ -1,0 +1,215 @@
+"""Region quad-tree (paper Sec. II-A, Fig. 2).
+
+The tree recursively splits any tile holding more than ``max_pois``
+(the paper's Ω) POIs into four quadrants, up to ``max_depth`` (the
+paper's D).  Leaf tiles partition the region: every POI lies in exactly
+one leaf.  Tiles at *all* levels carry bounding boxes, so both leaves
+and internal nodes can be paired with remote-sensing imagery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geo import BoundingBox
+
+
+@dataclass
+class QuadTreeNode:
+    """One tile.  ``children`` is empty exactly when this is a leaf."""
+
+    node_id: int
+    bbox: BoundingBox
+    depth: int
+    parent_id: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+    poi_ids: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RegionQuadTree:
+    """Quad-tree over a point set.
+
+    Parameters
+    ----------
+    bbox:
+        The whole considered region.
+    max_depth:
+        Paper parameter D — the root has depth 0, leaves at most
+        ``max_depth``.
+    max_pois:
+        Paper parameter Ω — a tile splits when it holds more than this
+        many POIs (unless already at ``max_depth``).
+    """
+
+    def __init__(self, bbox: BoundingBox, max_depth: int = 8, max_pois: int = 100):
+        if max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+        if max_pois < 1:
+            raise ValueError("max_pois must be positive")
+        self.bbox = bbox
+        self.max_depth = max_depth
+        self.max_pois = max_pois
+        self.nodes: List[QuadTreeNode] = []
+        self._leaf_of_poi: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        bbox: BoundingBox,
+        points: np.ndarray,
+        max_depth: int = 8,
+        max_pois: int = 100,
+        poi_ids: Optional[Sequence[int]] = None,
+    ) -> "RegionQuadTree":
+        """Construct the tree for ``points`` of shape ``(N, 2)``."""
+        tree = cls(bbox, max_depth=max_depth, max_pois=max_pois)
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("points must have shape (N, 2)")
+        ids = list(range(len(points))) if poi_ids is None else list(poi_ids)
+        if len(ids) != len(points):
+            raise ValueError("poi_ids length mismatch")
+        root = QuadTreeNode(node_id=0, bbox=bbox, depth=0, poi_ids=ids)
+        tree.nodes.append(root)
+        tree._split_recursive(0, points, dict(zip(ids, range(len(points)))))
+        for node in tree.nodes:
+            if node.is_leaf:
+                for pid in node.poi_ids:
+                    tree._leaf_of_poi[pid] = node.node_id
+        return tree
+
+    def _split_recursive(self, node_id: int, points: np.ndarray, row_of: Dict[int, int]) -> None:
+        node = self.nodes[node_id]
+        if len(node.poi_ids) <= self.max_pois or node.depth >= self.max_depth:
+            return
+        quadrant_boxes = list(node.bbox.quadrants())
+        buckets: List[List[int]] = [[] for _ in quadrant_boxes]
+        for pid in node.poi_ids:
+            x, y = points[row_of[pid]]
+            for q, box in enumerate(quadrant_boxes):
+                if box.contains(x, y):
+                    buckets[q].append(pid)
+                    break
+            else:  # on the outer max edge: closed containment fallback
+                buckets[-1].append(pid)
+        node.poi_ids = []
+        for box, bucket in zip(quadrant_boxes, buckets):
+            child = QuadTreeNode(
+                node_id=len(self.nodes),
+                bbox=box,
+                depth=node.depth + 1,
+                parent_id=node_id,
+                poi_ids=bucket,
+            )
+            node.children.append(child.node_id)
+            self.nodes.append(child)
+            self._split_recursive(child.node_id, points, row_of)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def root(self) -> QuadTreeNode:
+        return self.nodes[0]
+
+    def node(self, node_id: int) -> QuadTreeNode:
+        return self.nodes[node_id]
+
+    def leaves(self) -> List[int]:
+        """Ids of all leaf tiles (the tile-prediction candidate set)."""
+        return [n.node_id for n in self.nodes if n.is_leaf]
+
+    def leaf_for_point(self, x: float, y: float) -> int:
+        """Descend from the root to the unique leaf containing (x, y)."""
+        if not self.bbox.contains_closed(x, y):
+            raise ValueError(f"point ({x}, {y}) outside region {self.bbox}")
+        current = self.root
+        while not current.is_leaf:
+            for child_id in current.children:
+                if self.nodes[child_id].bbox.contains(x, y):
+                    current = self.nodes[child_id]
+                    break
+            else:
+                # Point on the region's max edge: take the closest child.
+                current = max(
+                    (self.nodes[c] for c in current.children),
+                    key=lambda n: n.bbox.contains_closed(x, y),
+                )
+        return current.node_id
+
+    def leaf_of_poi(self, poi_id: int) -> int:
+        """Leaf tile holding a POI that was present at build time."""
+        return self._leaf_of_poi[poi_id]
+
+    def pois_in_leaf(self, leaf_id: int) -> List[int]:
+        node = self.nodes[leaf_id]
+        if not node.is_leaf:
+            raise ValueError(f"node {leaf_id} is not a leaf")
+        return list(node.poi_ids)
+
+    def bbox_of(self, node_id: int) -> BoundingBox:
+        """Bounding box of any tile (protocol shared with GridIndex)."""
+        return self.nodes[node_id].bbox
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """Node ids from ``node_id`` up to (and including) the root."""
+        path = [node_id]
+        while self.nodes[path[-1]].parent_id is not None:
+            path.append(self.nodes[path[-1]].parent_id)
+        return path
+
+    def depth(self) -> int:
+        return max(n.depth for n in self.nodes)
+
+    # ------------------------------------------------------------------
+    # minimal sub-tree extraction (QR-P construction step 1)
+    # ------------------------------------------------------------------
+    def minimal_subtree(self, leaf_ids: Iterable[int]) -> Tuple[Set[int], List[Tuple[int, int]]]:
+        """Smallest sub-tree whose leaves cover ``leaf_ids``.
+
+        Returns ``(node_ids, branch_edges)`` where branch edges are
+        (parent, child) pairs — exactly the QR-P ``branch`` edges.
+        """
+        required = set(leaf_ids)
+        if not required:
+            return set(), []
+        keep: Set[int] = set()
+        for leaf in required:
+            if self.nodes[leaf].node_id != leaf:
+                raise ValueError(f"unknown node id {leaf}")
+            keep.update(self.path_to_root(leaf))
+        # Prune the chain above the lowest common ancestor: the minimal
+        # sub-tree is rooted at the LCA of the required leaves.
+        lca = self._lowest_common_ancestor(required)
+        lca_depth = self.nodes[lca].depth
+        keep = {n for n in keep if self.nodes[n].depth >= lca_depth}
+        edges = [
+            (self.nodes[n].parent_id, n)
+            for n in keep
+            if self.nodes[n].parent_id is not None and self.nodes[n].parent_id in keep
+        ]
+        return keep, edges
+
+    def _lowest_common_ancestor(self, node_ids: Set[int]) -> int:
+        paths = [list(reversed(self.path_to_root(n))) for n in node_ids]
+        lca = paths[0][0]
+        for level in range(min(len(p) for p in paths)):
+            level_nodes = {p[level] for p in paths}
+            if len(level_nodes) == 1:
+                lca = level_nodes.pop()
+            else:
+                break
+        return lca

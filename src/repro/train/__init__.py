@@ -1,0 +1,5 @@
+"""Training loop and configuration."""
+
+from .trainer import TrainConfig, Trainer, TrainHistory
+
+__all__ = ["TrainConfig", "TrainHistory", "Trainer"]

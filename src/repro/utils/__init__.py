@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG management and measurement probes."""
+
+from .rng import default_rng, derive, set_seed, spawn
+from .timer import Ledger, Stopwatch, TimerResult
+
+__all__ = [
+    "Ledger",
+    "Stopwatch",
+    "TimerResult",
+    "default_rng",
+    "derive",
+    "set_seed",
+    "spawn",
+]

@@ -1,0 +1,66 @@
+"""Wall-clock and peak-memory probes used by the Table V harness."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class TimerResult:
+    """Outcome of a measured block."""
+
+    seconds: float
+    peak_bytes: Optional[int] = None
+
+    @property
+    def pretty_time(self) -> str:
+        """Format as mm:ss like the paper's Table V."""
+        minutes, seconds = divmod(self.seconds, 60.0)
+        return f"{int(minutes):02d}:{seconds:04.1f}"
+
+    @property
+    def peak_megabytes(self) -> float:
+        return (self.peak_bytes or 0) / (1024.0 * 1024.0)
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time and (optionally) peak memory."""
+
+    def __init__(self, trace_memory: bool = False):
+        self.trace_memory = trace_memory
+        self.result: Optional[TimerResult] = None
+        self._started_trace = False
+
+    def __enter__(self) -> "Stopwatch":
+        if self.trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_trace = True
+        if self.trace_memory:
+            tracemalloc.reset_peak()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._t0
+        peak = None
+        if self.trace_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            if self._started_trace:
+                tracemalloc.stop()
+        self.result = TimerResult(seconds=elapsed, peak_bytes=peak)
+
+
+@dataclass
+class Ledger:
+    """Accumulates named timings across a run (train vs. infer phases)."""
+
+    entries: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.entries[name] = self.entries.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self.entries.get(name, 0.0)

@@ -1,0 +1,88 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, softmax
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_add_commutative(a):
+    x, y = Tensor(a), Tensor(a[::-1].copy() if a.ndim == 1 else a.T.copy().reshape(a.shape))
+    assert np.allclose((x + y).data, (y + x).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(a))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_linearity_of_grad(a):
+    """grad of (2x + 3x) equals grad of 5x."""
+    x1 = Tensor(a, requires_grad=True)
+    (x1 * 2.0 + x1 * 3.0).sum().backward()
+    x2 = Tensor(a, requires_grad=True)
+    (x2 * 5.0).sum().backward()
+    assert np.allclose(x1.grad, x2.grad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_is_distribution(a):
+    out = softmax(Tensor(a), axis=-1).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(), finite_floats)
+def test_softmax_shift_invariance(a, c):
+    base = softmax(Tensor(a), axis=-1).data
+    shifted = softmax(Tensor(a + c), axis=-1).data
+    assert np.allclose(base, shifted, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_relu_grad_is_indicator(a):
+    x = Tensor(a, requires_grad=True)
+    x.relu().sum().backward()
+    assert np.allclose(x.grad, (a > 0).astype(float))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_reshape_preserves_sum_grad(a):
+    x = Tensor(a, requires_grad=True)
+    x.reshape(-1).sum().backward()
+    assert np.allclose(x.grad, np.ones_like(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3, 4), elements=finite_floats),
+    arrays(np.float64, (4, 2), elements=finite_floats),
+)
+def test_matmul_matches_numpy(a, b):
+    out = Tensor(a) @ Tensor(b)
+    assert np.allclose(out.data, a @ b)

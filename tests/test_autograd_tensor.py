@@ -1,0 +1,235 @@
+"""Unit tests for the core Tensor ops and the backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    concat,
+    gradcheck,
+    maximum,
+    no_grad,
+    stack,
+    tensor,
+    where,
+)
+
+
+def _t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+class TestBasicOps:
+    def test_add_values(self):
+        out = _t([1.0, 2.0]) + _t([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_grad(self):
+        a, b = _t([[1.0, 2.0], [3.0, 4.0]]), _t([[5.0, 6.0], [7.0, 8.0]])
+        assert gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_add_broadcast_grad(self):
+        a, b = _t([[1.0, 2.0], [3.0, 4.0]]), _t([10.0, 20.0])
+        assert gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_scalar_radd(self):
+        out = 2.0 + _t([1.0])
+        out.backward()
+        assert np.allclose(out.data, [3.0])
+
+    def test_sub_grad(self):
+        assert gradcheck(lambda x, y: x - y, [_t([3.0, 1.0]), _t([[1.0], [2.0]])])
+
+    def test_mul_grad(self):
+        assert gradcheck(lambda x, y: x * y, [_t([[1.5, -2.0]]), _t([[2.0], [3.0]])])
+
+    def test_div_grad(self):
+        assert gradcheck(lambda x, y: x / y, [_t([1.0, 4.0]), _t([2.0, 8.0])])
+
+    def test_pow_grad(self):
+        assert gradcheck(lambda x: x ** 3, [_t([1.0, -2.0, 0.5])])
+
+    def test_neg(self):
+        assert gradcheck(lambda x: -x, [_t([1.0, -1.0])])
+
+    def test_matmul_2d(self):
+        a, b = _t(np.random.default_rng(0).normal(size=(3, 4))), _t(
+            np.random.default_rng(1).normal(size=(4, 2))
+        )
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_vec(self):
+        a = _t(np.random.default_rng(0).normal(size=(3, 4)))
+        v = _t(np.random.default_rng(1).normal(size=4))
+        assert gradcheck(lambda x, y: x @ y, [a, v])
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(2)
+        a = _t(rng.normal(size=(2, 3, 4)))
+        b = _t(rng.normal(size=(2, 4, 5)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_broadcast_batch(self):
+        rng = np.random.default_rng(3)
+        a = _t(rng.normal(size=(2, 3, 4)))
+        b = _t(rng.normal(size=(4, 5)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name",
+        ["exp", "tanh", "sigmoid", "relu", "abs", "sin", "cos", "sqrt", "log"],
+    )
+    def test_unary_grad(self, name):
+        data = [0.5, 1.5, 2.5] if name in ("sqrt", "log") else [-1.2, 0.3, 2.0]
+        x = _t(data)
+        assert gradcheck(lambda t: getattr(t, name)(), [x], atol=1e-4)
+
+    def test_leaky_relu_negative_slope(self):
+        x = _t([-2.0, 3.0])
+        out = x.leaky_relu(0.1)
+        assert np.allclose(out.data, [-0.2, 3.0])
+        assert gradcheck(lambda t: t.leaky_relu(0.1), [x])
+
+    def test_clip_blocks_grad_outside(self):
+        x = _t([-2.0, 0.5, 2.0])
+        out = x.clip(-1.0, 1.0)
+        out.backward(np.ones(3))
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert gradcheck(lambda x: x.sum(), [_t([[1.0, 2.0], [3.0, 4.0]])])
+
+    def test_sum_axis(self):
+        assert gradcheck(lambda x: x.sum(axis=0), [_t([[1.0, 2.0], [3.0, 4.0]])])
+
+    def test_sum_keepdims(self):
+        assert gradcheck(
+            lambda x: x.sum(axis=1, keepdims=True), [_t([[1.0, 2.0], [3.0, 4.0]])]
+        )
+
+    def test_mean_matches_numpy(self):
+        x = _t([[1.0, 2.0], [3.0, 5.0]])
+        assert np.allclose(x.mean(axis=1).data, [1.5, 4.0])
+        assert gradcheck(lambda t: t.mean(axis=1), [x])
+
+    def test_max_axis_grad(self):
+        x = _t([[1.0, 5.0], [7.0, 3.0]])
+        assert gradcheck(lambda t: t.max(axis=1), [x])
+
+    def test_max_ties_split_grad(self):
+        x = _t([2.0, 2.0])
+        out = x.max()
+        out.backward()
+        assert np.allclose(x.grad, [0.5, 0.5])
+
+    def test_min(self):
+        x = _t([[3.0, 1.0], [2.0, 4.0]])
+        assert np.allclose(x.min(axis=1).data, [1.0, 2.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        assert gradcheck(lambda x: x.reshape(3, 2), [_t([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])])
+
+    def test_transpose_grad(self):
+        rng = np.random.default_rng(0)
+        assert gradcheck(lambda x: x.transpose(1, 0, 2), [_t(rng.normal(size=(2, 3, 4)))])
+
+    def test_default_transpose_reverses(self):
+        x = _t(np.zeros((2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+
+    def test_getitem_int_index(self):
+        x = _t([[1.0, 2.0], [3.0, 4.0]])
+        assert gradcheck(lambda t: t[1], [x])
+
+    def test_getitem_fancy_index_accumulates(self):
+        x = _t([1.0, 2.0, 3.0])
+        out = x[np.array([0, 0, 2])]
+        out.backward(np.ones(3))
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_concat_grad(self):
+        a, b = _t([[1.0, 2.0]]), _t([[3.0, 4.0], [5.0, 6.0]])
+        assert gradcheck(lambda x, y: concat([x, y], axis=0), [a, b])
+
+    def test_stack_grad(self):
+        a, b = _t([1.0, 2.0]), _t([3.0, 4.0])
+        assert gradcheck(lambda x, y: stack([x, y], axis=0), [a, b])
+
+    def test_expand_squeeze(self):
+        x = _t([1.0, 2.0])
+        assert x.expand_dims(0).shape == (1, 2)
+        assert x.expand_dims(0).squeeze(0).shape == (2,)
+        assert gradcheck(lambda t: t.expand_dims(1), [x])
+
+
+class TestSelectors:
+    def test_where_grad_routing(self):
+        a, b = _t([1.0, 2.0]), _t([10.0, 20.0])
+        out = where(np.array([True, False]), a, b)
+        out.backward(np.ones(2))
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_values_and_grad(self):
+        a, b = _t([1.0, 5.0]), _t([3.0, 2.0])
+        out = maximum(a, b)
+        assert np.allclose(out.data, [3.0, 5.0])
+        out.backward(np.ones(2))
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = _t([2.0])
+        out = x * x + x
+        out.backward()
+        assert np.allclose(x.grad, [5.0])  # d(x^2+x)/dx = 2x+1
+
+    def test_backward_requires_grad(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = _t([1.0])
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = _t([3.0])
+        y = (x * 2.0).detach() * x
+        y.backward()
+        assert np.allclose(x.grad, [6.0])  # only the second factor contributes
+
+    def test_diamond_graph(self):
+        x = _t([1.0, 2.0])
+        a = x * 2.0
+        b = x + 1.0
+        out = (a * b).sum()
+        out.backward()
+        # d/dx of 2x(x+1) = 4x + 2
+        assert np.allclose(x.grad, [6.0, 10.0])
+
+    def test_backward_shape_mismatch_raises(self):
+        x = _t([1.0, 2.0])
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_second_backward_accumulates_on_leaf(self):
+        x = _t([1.0])
+        y = x * 3.0
+        y.backward()
+        y2 = x * 3.0
+        y2.backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_int_input_promoted_to_float(self):
+        assert tensor([1, 2, 3]).dtype == np.float64

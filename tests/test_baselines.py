@@ -1,0 +1,155 @@
+"""Tests for all ten baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_NAMES, MarkovChain, make_baseline
+from repro.data import build_dataset, make_samples, split_samples
+from repro.train import TrainConfig, Trainer
+from repro.utils import spawn
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    dataset = build_dataset("nyc", seed=1, scale=0.12, imagery_resolution=16)
+    samples = make_samples(dataset, last_only=False)
+    splits = split_samples(samples, seed=1)
+    locations = np.array(
+        [dataset.spec.bbox.normalize(x, y) for x, y in dataset.city.pois.xy]
+    )
+    return dataset, splits, locations
+
+
+class TestFactory:
+    def test_all_names_construct(self, tiny):
+        dataset, _, locations = tiny
+        for name in BASELINE_NAMES:
+            model = make_baseline(name, len(dataset.city.pois), locations, dim=16, rng=spawn(0))
+            assert model.name == name
+
+    def test_unknown_name(self, tiny):
+        dataset, _, locations = tiny
+        with pytest.raises(KeyError):
+            make_baseline("BERT4Rec", 10, locations)
+
+
+class TestMarkov:
+    def test_fit_then_predict(self, tiny):
+        _, splits, locations = tiny
+        mc = MarkovChain(400)
+        mc.fit(splits.train)
+        result = mc.predict(splits.test[0])
+        assert result.poi_rank >= 1
+
+    def test_unfitted_raises(self, tiny):
+        _, splits, _ = tiny
+        with pytest.raises(RuntimeError):
+            MarkovChain(10).predict(splits.test[0])
+
+    def test_transition_dominates_when_observed(self):
+        from repro.data.trajectory import PredictionSample, Visit
+
+        mc = MarkovChain(3)
+        sample = PredictionSample(
+            user_id=0, history=[], prefix=[Visit(0, 0.0)], target=Visit(1, 1.0)
+        )
+        mc.fit([sample] * 5)
+        scores = mc.scores(sample)
+        assert np.argmax(scores) == 1
+
+    def test_popularity_backoff(self):
+        from repro.data.trajectory import PredictionSample, Visit
+
+        mc = MarkovChain(3)
+        seen = PredictionSample(0, [], [Visit(0, 0.0)], Visit(1, 1.0))
+        mc.fit([seen])
+        unseen_src = PredictionSample(0, [], [Visit(2, 0.0)], Visit(0, 1.0))
+        scores = mc.scores(unseen_src)
+        assert scores.sum() > 0  # falls back to popularity, not zeros
+
+
+@pytest.mark.parametrize("name", [n for n in BASELINE_NAMES if n != "MC"])
+class TestNeuralBaselines:
+    def test_score_shape_and_loss(self, tiny, name):
+        dataset, splits, locations = tiny
+        model = make_baseline(name, len(dataset.city.pois), locations, dim=16, rng=spawn(1))
+        sample = next(s for s in splits.train if s.history)
+        logits = model.score(sample)
+        assert logits.shape == (len(dataset.city.pois),)
+        loss = model.loss_sample(sample)
+        assert np.isfinite(loss.item())
+
+    def test_gradients_flow(self, tiny, name):
+        dataset, splits, locations = tiny
+        model = make_baseline(name, len(dataset.city.pois), locations, dim=16, rng=spawn(2))
+        sample = next(s for s in splits.train if s.history)
+        model.loss_sample(sample).backward()
+        assert any(p.grad is not None and np.abs(p.grad).sum() > 0 for p in model.parameters())
+
+    def test_predict_is_permutation_ranking(self, tiny, name):
+        dataset, splits, locations = tiny
+        model = make_baseline(name, len(dataset.city.pois), locations, dim=16, rng=spawn(3))
+        model.eval()
+        result = model.predict(splits.test[0])
+        assert sorted(result.ranked_pois) == list(range(len(dataset.city.pois)))
+
+    def test_one_epoch_reduces_loss(self, tiny, name):
+        dataset, splits, locations = tiny
+        model = make_baseline(name, len(dataset.city.pois), locations, dim=16, rng=spawn(4))
+        if hasattr(model, "fit_transition_graph"):
+            model.fit_transition_graph(splits.train)
+        trainer = Trainer(
+            model, TrainConfig(epochs=2, batch_size=8, lr=5e-3, max_train_samples=48, seed=0)
+        )
+        history = trainer.fit(splits.train)
+        assert history.improved(), history.epoch_losses
+
+
+class TestModelSpecifics:
+    def test_hmt_grn_beam_prefers_beam_cells(self, tiny):
+        dataset, splits, locations = tiny
+        model = make_baseline("HMT-GRN", len(dataset.city.pois), locations, dim=16, rng=spawn(5))
+        model.eval()
+        result = model.predict(splits.test[0])
+        # first-ranked POI must be in the fine-beam cells
+        first = result.ranked_pois[0]
+        assert model.fine_of_poi[first] is not None
+
+    def test_graph_flashback_smoothing_changes_scores(self, tiny):
+        dataset, splits, locations = tiny
+        model = make_baseline(
+            "Graph-Flashback", len(dataset.city.pois), locations, dim=16, rng=spawn(6)
+        )
+        sample = splits.test[0]
+        before = model.score(sample).data.copy()
+        model.fit_transition_graph(splits.train)
+        after = model.score(sample).data
+        assert not np.allclose(before, after)
+
+    def test_stan_pif_bias_favours_frequent_poi(self, tiny):
+        dataset, splits, locations = tiny
+        model = make_baseline("STAN", len(dataset.city.pois), locations, dim=16, rng=spawn(7))
+        sample = next(s for s in splits.test if len(s.prefix) >= 3)
+        logits = model.score(sample).data
+        visited = sample.prefix_poi_ids[0]
+        # zero out embeddings influence by comparing to a never-visited POI
+        # with identical distance profile is hard; instead check the PIF term
+        # exists: visited POI logits exceed the same model without history.
+        freq = np.zeros(len(dataset.city.pois))
+        for v in sample.prefix:
+            freq[v.poi_id] += 1
+        assert logits[visited] > (logits - np.log1p(freq) * model.pif_weight.data[0])[visited]
+
+    def test_stisan_negatives_are_nearest(self, tiny):
+        dataset, splits, locations = tiny
+        model = make_baseline("STiSAN", len(dataset.city.pois), locations, dim=16, rng=spawn(8))
+        negs = model._nearest_negatives(0)
+        d = ((locations - locations[0]) ** 2).sum(axis=1)
+        ranked = np.argsort(d)[1 : len(negs) + 1]
+        assert set(negs.tolist()) == set(ranked.tolist())
+
+    def test_strnn_uses_distance_interpolation(self, tiny):
+        dataset, splits, locations = tiny
+        model = make_baseline("STRNN", len(dataset.city.pois), locations, dim=16, rng=spawn(9))
+        sample = splits.test[0]
+        assert np.isfinite(model.score(sample).data).all()

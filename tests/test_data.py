@@ -1,0 +1,182 @@
+"""Tests for POI/check-in records, trajectory windowing and splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Checkin,
+    CheckinDataset,
+    POISet,
+    Visit,
+    concat_history,
+    samples_from_trajectories,
+    split_into_trajectories,
+    split_samples,
+    time_slot,
+)
+from repro.data.trajectory import Trajectory
+
+
+class TestPOISet:
+    def _pois(self):
+        xy = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        return POISet(xy, np.array([0, 1, 1]), category_names=["a", "b"])
+
+    def test_basic_access(self):
+        pois = self._pois()
+        assert len(pois) == 3
+        assert pois.num_categories == 2
+        assert pois[2].category == 1
+        assert pois.location_of(1) == (1.0, 0.0)
+
+    def test_nearest(self):
+        pois = self._pois()
+        assert pois.nearest(0.1, 0.0, k=2) == [0, 1]
+        assert pois.nearest(0.1, 0.0, k=1, exclude=0) == [1]
+
+    def test_category_query(self):
+        pois = self._pois()
+        assert list(pois.pois_with_category(1)) == [1, 2]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            POISet(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            POISet(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestCheckins:
+    def test_time_slot_half_hours(self):
+        assert time_slot(0.0) == 0
+        assert time_slot(0.6) == 1
+        assert time_slot(23.9) == 47
+        assert time_slot(24.5) == 1  # wraps daily
+
+    def test_dataset_sorted_per_user(self):
+        records = [Checkin(1, 0, 5.0), Checkin(1, 1, 2.0), Checkin(2, 2, 1.0)]
+        ds = CheckinDataset(records)
+        assert [r.timestamp for r in ds.of_user(1)] == [2.0, 5.0]
+        assert ds.num_users == 2
+        assert len(ds) == 3
+
+    def test_visit_counts(self):
+        ds = CheckinDataset([Checkin(1, 0, 1.0), Checkin(1, 0, 2.0), Checkin(1, 2, 3.0)])
+        counts = ds.poi_visit_counts(4)
+        assert list(counts) == [2, 0, 1, 0]
+
+
+class TestTrajectorySplitting:
+    def test_single_trajectory_no_gaps(self):
+        records = [Checkin(1, i, float(i)) for i in range(5)]
+        trajectories = split_into_trajectories(records, gap_hours=72.0)
+        assert len(trajectories) == 1
+        assert len(trajectories[0]) == 5
+
+    def test_split_at_gap(self):
+        records = [Checkin(1, 0, 0.0), Checkin(1, 1, 10.0), Checkin(1, 2, 100.0)]
+        trajectories = split_into_trajectories(records, gap_hours=72.0)
+        assert [len(t) for t in trajectories] == [2, 1]
+
+    def test_exact_gap_splits(self):
+        records = [Checkin(1, 0, 0.0), Checkin(1, 1, 72.0)]
+        assert len(split_into_trajectories(records, gap_hours=72.0)) == 2
+
+    def test_unsorted_raises(self):
+        records = [Checkin(1, 0, 5.0), Checkin(1, 1, 2.0)]
+        with pytest.raises(ValueError):
+            split_into_trajectories(records)
+
+    def test_mixed_users_raises(self):
+        with pytest.raises(ValueError):
+            split_into_trajectories([Checkin(1, 0, 0.0), Checkin(2, 1, 1.0)])
+
+    def test_empty(self):
+        assert split_into_trajectories([]) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0, 500), min_size=1, max_size=40))
+    def test_property_gaps_between_windows(self, times):
+        times = sorted(times)
+        records = [Checkin(7, i, t) for i, t in enumerate(times)]
+        trajectories = split_into_trajectories(records, gap_hours=72.0)
+        # windows are disjoint and ordered, with >= 72h between them
+        for a, b in zip(trajectories, trajectories[1:]):
+            assert b.start - a.end >= 72.0
+        # no internal gap >= 72h
+        for t in trajectories:
+            stamps = t.timestamps
+            for x, y in zip(stamps, stamps[1:]):
+                assert y - x < 72.0
+        assert sum(len(t) for t in trajectories) == len(times)
+
+
+class TestSamples:
+    def _trajectories(self):
+        t1 = Trajectory(1, [Visit(0, 0.0), Visit(1, 1.0), Visit(2, 2.0)])
+        t2 = Trajectory(1, [Visit(3, 100.0), Visit(4, 101.0)])
+        return [t1, t2]
+
+    def test_all_positions(self):
+        samples = samples_from_trajectories(self._trajectories())
+        # t1 yields targets at positions 1,2; t2 yields target at position 1
+        assert len(samples) == 3
+        assert samples[0].target.poi_id == 1
+        assert samples[0].prefix_poi_ids == [0]
+
+    def test_last_only(self):
+        samples = samples_from_trajectories(self._trajectories(), last_only=True)
+        assert len(samples) == 2
+        assert samples[0].target.poi_id == 2
+
+    def test_history_is_earlier_trajectories(self):
+        samples = samples_from_trajectories(self._trajectories())
+        later = [s for s in samples if s.history]
+        assert later and all(s.history[0].poi_ids == [0, 1, 2] for s in later)
+
+    def test_history_key_distinguishes_trajectories(self):
+        samples = samples_from_trajectories(self._trajectories())
+        keys = {s.history_key for s in samples}
+        assert keys == {(1, 0), (1, 1)}
+
+    def test_concat_history_time_ordered(self):
+        t2 = Trajectory(1, [Visit(3, 100.0)])
+        t1 = Trajectory(1, [Visit(0, 0.0)])
+        visits = concat_history([t2, t1])
+        assert [v.poi_id for v in visits] == [0, 3]
+
+
+class TestSplitSamples:
+    def _samples(self, n_trajectories=30):
+        trajectories = [
+            Trajectory(1, [Visit(i, i * 200.0), Visit(i + 1, i * 200.0 + 1), Visit(i + 2, i * 200.0 + 2)])
+            for i in range(n_trajectories)
+        ]
+        return samples_from_trajectories(trajectories)
+
+    def test_fractions_roughly_respected(self):
+        samples = self._samples()
+        splits = split_samples(samples, seed=0)
+        train, valid, test = splits.sizes()
+        assert train + valid + test == len(samples)
+        assert train > valid and train > test
+
+    def test_trajectory_level_no_leakage(self):
+        """All samples of one trajectory land in the same split."""
+        samples = self._samples()
+        splits = split_samples(samples, seed=1)
+        seen = {}
+        for name, bucket in zip(("train", "valid", "test"), splits):
+            for s in bucket:
+                assert seen.setdefault(s.history_key, name) == name
+
+    def test_deterministic_given_seed(self):
+        samples = self._samples()
+        a = split_samples(samples, seed=5)
+        b = split_samples(samples, seed=5)
+        assert [s.target.poi_id for s in a.test] == [s.target.poi_id for s in b.test]
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            split_samples(self._samples(), fractions=(0.5, 0.2, 0.2))

@@ -1,0 +1,106 @@
+"""Tests for metrics, the evaluator and efficiency probes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    EfficiencyReport,
+    measure,
+    metric_table,
+    mrr,
+    ndcg_at_k,
+    recall_at_k,
+)
+
+ranks_strategy = st.lists(st.integers(1, 500), min_size=1, max_size=60)
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k([1, 1, 1], 5) == 1.0
+
+    def test_miss(self):
+        assert recall_at_k([6, 10], 5) == 0.0
+
+    def test_mixed(self):
+        assert recall_at_k([1, 6], 5) == 0.5
+
+    def test_empty(self):
+        assert recall_at_k([], 5) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranks_strategy)
+    def test_monotone_in_k(self, ranks):
+        assert recall_at_k(ranks, 5) <= recall_at_k(ranks, 10) <= recall_at_k(ranks, 20)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranks_strategy)
+    def test_bounds(self, ranks):
+        assert 0.0 <= recall_at_k(ranks, 10) <= 1.0
+
+
+class TestNDCG:
+    def test_rank_one_is_one(self):
+        assert ndcg_at_k([1], 5) == pytest.approx(1.0)
+
+    def test_rank_two_discounted(self):
+        assert ndcg_at_k([2], 5) == pytest.approx(1.0 / np.log2(3))
+
+    def test_outside_k_zero(self):
+        assert ndcg_at_k([6], 5) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranks_strategy)
+    def test_ndcg_at_most_recall(self, ranks):
+        # per-item gain <= 1 and zero outside k, so NDCG@k <= Recall@k
+        assert ndcg_at_k(ranks, 10) <= recall_at_k(ranks, 10) + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranks_strategy)
+    def test_monotone_in_k(self, ranks):
+        assert ndcg_at_k(ranks, 5) <= ndcg_at_k(ranks, 20) + 1e-12
+
+
+class TestMRR:
+    def test_values(self):
+        assert mrr([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranks_strategy)
+    def test_bounds(self, ranks):
+        assert 0.0 < mrr(ranks) <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranks_strategy)
+    def test_improving_a_rank_improves_mrr(self, ranks):
+        if ranks[0] == 1:
+            return
+        better = [ranks[0] - 1] + ranks[1:]
+        assert mrr(better) > mrr(ranks)
+
+
+class TestMetricTable:
+    def test_columns_present(self):
+        table = metric_table([1, 3, 8])
+        for key in ("Recall@5", "Recall@10", "Recall@20", "NDCG@5", "MRR"):
+            assert key in table
+
+    def test_custom_ks(self):
+        table = metric_table([1], ks=(1,))
+        assert set(table) == {"Recall@1", "NDCG@1", "MRR"}
+
+
+class TestEfficiency:
+    def test_measure_returns_report(self):
+        report = measure("toy", train_fn=lambda: sum(range(10000)), infer_fn=lambda: None)
+        assert isinstance(report, EfficiencyReport)
+        assert report.train_seconds >= 0
+        assert report.peak_memory_mb >= 0
+
+    def test_report_row_format(self):
+        report = EfficiencyReport("m", peak_memory_mb=12.5, train_seconds=65.0, infer_seconds=2.0)
+        row = report.as_row()
+        assert row[0] == "m"
+        assert row[2] == "01:05.0"

@@ -1,0 +1,148 @@
+"""Tests for the experiment harness, profiles and reporting."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_MODELS,
+    EXPERIMENTS,
+    QUICK,
+    ExperimentProfile,
+    best_baseline,
+    build_model,
+    current_profile,
+    eval_model,
+    format_results,
+    format_table,
+    get_profile,
+    improvement_row,
+    prepare,
+    relative_drop,
+    run_one,
+    train_model,
+    tspnra_config,
+)
+from repro.experiments.figures import fig11_crossover, run_fig8
+from repro.experiments.tables import ablation_variants
+
+TINY = replace(
+    QUICK,
+    dataset_scale=0.12,
+    epochs=1,
+    max_train_samples=24,
+    eval_samples=20,
+    imagery_resolution=16,
+    dim=16,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return prepare("nyc", TINY)
+
+
+class TestProfiles:
+    def test_registry_contains_all_experiments(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig8",
+            "fig10",
+            "fig11",
+            "fig12",
+        }
+
+    def test_env_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert current_profile().name == "full"
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(KeyError):
+            current_profile()
+
+    def test_smaller(self):
+        small = QUICK.smaller(0.5)
+        assert small.dataset_scale == pytest.approx(QUICK.dataset_scale * 0.5)
+        assert small.max_train_samples < QUICK.max_train_samples
+
+    def test_get_profile(self):
+        assert get_profile("quick") is QUICK
+
+
+class TestHarness:
+    def test_prepare_shapes(self, data):
+        assert data.num_pois == len(data.dataset.city.pois)
+        assert data.locations.shape == (data.num_pois, 2)
+        assert all(0 <= v <= 1 for v in data.locations.ravel())
+
+    def test_build_all_models(self, data):
+        for name in ALL_MODELS:
+            model = build_model(name, data, TINY)
+            assert model is not None
+
+    def test_run_one_markov(self, data):
+        metrics, model = run_one("MC", data, TINY)
+        assert 0 <= metrics["Recall@5"] <= 1
+
+    def test_run_one_tspnra(self, data):
+        metrics, model = run_one("TSPN-RA", data, TINY)
+        assert "MRR" in metrics
+
+    def test_ablation_variants_cover_table4(self, data):
+        variants = ablation_variants(TINY, data)
+        assert "No Two-step" in variants and "No Graph" in variants
+        assert not variants["No Imagery"].use_imagery
+        assert variants["No Road"].drop_edge_type == "road"
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_results(self):
+        results = {"m1": {"Recall@5": 0.5, "MRR": 0.2}}
+        out = format_results(results, columns=("Recall@5", "MRR"), highlight="m1")
+        assert "*m1" in out and "0.5000" in out
+
+    def test_improvement_row(self):
+        ours = {"MRR": 0.22}
+        base = {"MRR": 0.20}
+        row = improvement_row(ours, base, columns=("MRR",))
+        assert row["MRR"] == "+10.00%"
+
+    def test_best_baseline_excludes_ours(self):
+        results = {
+            "TSPN-RA": {"MRR": 0.9},
+            "a": {"MRR": 0.3},
+            "b": {"MRR": 0.5},
+        }
+        assert best_baseline(results, exclude="TSPN-RA") == "b"
+
+    def test_relative_drop_sign(self):
+        full = {"MRR": 0.2, "Recall@5": 0.4}
+        worse = {"MRR": 0.1, "Recall@5": 0.2}
+        assert relative_drop(full, worse, ("MRR", "Recall@5")) == pytest.approx(-50.0)
+
+
+class TestFigureHelpers:
+    def test_fig8_similarity_structure(self):
+        result = run_fig8(dim=128, resolution=9)
+        assert result.peak_is_anchor()
+        assert all(corr < -0.2 for corr in result.distance_similarity_corr)
+
+    def test_fig11_crossover_detection(self):
+        from repro.experiments.figures import Fig11Point
+
+        points = [
+            Fig11Point(1, 0.2, 0.1, 5, 64.0, 1.0),
+            Fig11Point(8, 0.6, 0.3, 40, 8.0, 8.0),
+            Fig11Point(64, 0.9, 0.3, 300, 1.0, 60.0),
+        ]
+        assert fig11_crossover(points) == 8

@@ -1,0 +1,78 @@
+"""Tests for geometric primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox, equirectangular_km, euclidean, haversine_km
+
+
+class TestBoundingBox:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 1)
+
+    def test_dimensions(self):
+        box = BoundingBox(1, 2, 5, 10)
+        assert box.width == 4 and box.height == 8
+        assert box.area == 32
+        assert box.center == (3, 6)
+
+    def test_contains_half_open(self):
+        box = BoundingBox(0, 0, 1, 1)
+        assert box.contains(0, 0)
+        assert not box.contains(1, 0)  # max edge excluded
+        assert box.contains_closed(1, 1)
+
+    def test_quadrants_partition(self):
+        box = BoundingBox(0, 0, 2, 2)
+        quadrants = list(box.quadrants())
+        assert len(quadrants) == 4
+        assert sum(q.area for q in quadrants) == pytest.approx(box.area)
+        # every interior point is in exactly one quadrant
+        for x, y in [(0.5, 0.5), (1.5, 0.5), (0.5, 1.5), (1.5, 1.5), (1.0, 1.0)]:
+            assert sum(q.contains(x, y) for q in quadrants) == 1
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.intersects(BoundingBox(1, 1, 3, 3))
+        assert not a.intersects(BoundingBox(2, 0, 3, 1))  # touching edge: no overlap
+
+    def test_clamp_stays_inside(self):
+        box = BoundingBox(0, 0, 1, 1)
+        x, y = box.clamp(5, -3)
+        assert box.contains(x, y)
+
+    def test_normalize_unit_square(self):
+        box = BoundingBox(10, 20, 30, 40)
+        assert box.normalize(10, 20) == (0, 0)
+        assert box.normalize(30, 40) == (1, 1)
+        assert box.normalize(20, 30) == (0.5, 0.5)
+
+
+class TestDistances:
+    def test_euclidean_pythagorean(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_haversine_zero_distance(self):
+        assert haversine_km(40.0, -74.0, 40.0, -74.0) == pytest.approx(0.0)
+
+    def test_haversine_one_degree_latitude(self):
+        # one degree of latitude is ~111.2 km
+        assert haversine_km(40.0, -74.0, 41.0, -74.0) == pytest.approx(111.2, rel=0.01)
+
+    def test_equirectangular_close_to_haversine_at_city_scale(self):
+        h = haversine_km(40.7, -74.0, 40.8, -73.9)
+        e = equirectangular_km(40.7, -74.0, 40.8, -73.9)
+        assert abs(h - e) / h < 0.01
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(-60, 60), st.floats(-170, 170),
+        st.floats(-60, 60), st.floats(-170, 170),
+    )
+    def test_haversine_symmetry(self, lat1, lon1, lat2, lon2):
+        d1 = haversine_km(lat1, lon1, lat2, lon2)
+        d2 = haversine_km(lat2, lon2, lat1, lon1)
+        assert d1 == pytest.approx(d2, abs=1e-9)

@@ -1,0 +1,145 @@
+"""Tests for the heterogeneous graph container and QR-P construction."""
+
+import numpy as np
+import pytest
+
+from repro.data.trajectory import Trajectory, Visit
+from repro.geo import BoundingBox
+from repro.graphs import HeteroGraph, build_qrp_graph, strip_edges
+from repro.spatial import RegionQuadTree
+
+BOX = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+class TestHeteroGraph:
+    def test_add_node_dedupes(self):
+        g = HeteroGraph()
+        a = g.add_node("tile", 5)
+        b = g.add_node("tile", 5)
+        assert a == b and g.num_nodes == 1
+
+    def test_unknown_types_raise(self):
+        g = HeteroGraph()
+        with pytest.raises(ValueError):
+            g.add_node("building", 0)
+        g.add_node("tile", 0)
+        g.add_node("tile", 1)
+        with pytest.raises(ValueError):
+            g.add_edge("tunnel", 0, 1)
+
+    def test_edge_out_of_range(self):
+        g = HeteroGraph()
+        g.add_node("tile", 0)
+        with pytest.raises(IndexError):
+            g.add_edge("road", 0, 3)
+
+    def test_symmetric_edges(self):
+        g = HeteroGraph()
+        g.add_node("tile", 0)
+        g.add_node("tile", 1)
+        g.add_edge("road", 0, 1)
+        assert g.num_edges("road") == 2
+        assert g.neighbors("road", 0) == [1]
+        assert g.neighbors("road", 1) == [0]
+
+    def test_validate_typing(self):
+        g = HeteroGraph()
+        t = g.add_node("tile", 0)
+        p = g.add_node("poi", 0)
+        g.add_edge("branch", t, p)  # wrong: branch must be tile-tile
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_adjacency_lists(self):
+        g = HeteroGraph()
+        g.add_node("tile", 0)
+        g.add_node("tile", 1)
+        g.add_node("tile", 2)
+        g.add_edge("road", 0, 1)
+        g.add_edge("road", 2, 1)
+        table = g.adjacency_lists("road")
+        assert sorted(table[1]) == [0, 2]
+
+
+def _setup(seed=0, n=150):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.2, 9.8, size=(n, 2))
+    tree = RegionQuadTree.build(BOX, points, max_depth=5, max_pois=12)
+    leaves = tree.leaves()
+    # synthetic road adjacency between the first few leaf pairs
+    adjacency = {(min(a, b), max(a, b)) for a, b in zip(leaves, leaves[1:])}
+    return tree, adjacency, points
+
+
+def _history(points, poi_ids, user=1):
+    visits = [Visit(p, float(i)) for i, p in enumerate(poi_ids)]
+    return [Trajectory(user, visits)]
+
+
+class TestQRPGraph:
+    def test_empty_history(self):
+        tree, adjacency, _ = _setup()
+        qrp = build_qrp_graph(tree, adjacency, [])
+        assert qrp.is_empty
+
+    def test_nodes_and_edges_typed(self):
+        tree, adjacency, points = _setup()
+        qrp = build_qrp_graph(tree, adjacency, _history(points, [0, 1, 2, 3, 0]))
+        qrp.graph.validate()
+        assert len(qrp.poi_refs) == 4  # unique POIs only
+        assert set(qrp.graph.node_types) == {"tile", "poi"}
+
+    def test_contain_edges_match_poi_leaves(self):
+        tree, adjacency, points = _setup()
+        poi_ids = [0, 5, 9]
+        qrp = build_qrp_graph(tree, adjacency, _history(points, poi_ids))
+        for poi in poi_ids:
+            poi_index = qrp.graph.index_of("poi", poi)
+            leaf_index = qrp.graph.index_of("tile", tree.leaf_of_poi(poi))
+            assert poi_index in qrp.graph.neighbors("contain", leaf_index)
+
+    def test_subtree_contains_all_poi_leaves(self):
+        tree, adjacency, points = _setup()
+        poi_ids = [0, 20, 40, 60]
+        qrp = build_qrp_graph(tree, adjacency, _history(points, poi_ids))
+        for poi in poi_ids:
+            assert tree.leaf_of_poi(poi) in qrp.leaf_tile_refs
+
+    def test_road_edges_only_between_subtree_leaves(self):
+        tree, adjacency, points = _setup()
+        qrp = build_qrp_graph(tree, adjacency, _history(points, list(range(20))))
+        for src, dst in qrp.graph.edges["road"]:
+            assert qrp.graph.node_refs[src] in qrp.leaf_tile_refs
+            assert qrp.graph.node_refs[dst] in qrp.leaf_tile_refs
+
+    def test_branch_edges_follow_tree(self):
+        tree, adjacency, points = _setup()
+        qrp = build_qrp_graph(tree, adjacency, _history(points, list(range(30))))
+        for src, dst in qrp.graph.edges["branch"]:
+            a, b = qrp.graph.node_refs[src], qrp.graph.node_refs[dst]
+            assert tree.node(a).parent_id == b or tree.node(b).parent_id == a
+
+    def test_tile_then_poi_local_indexing(self):
+        """Model code relies on tiles occupying the first rows."""
+        tree, adjacency, points = _setup()
+        qrp = build_qrp_graph(tree, adjacency, _history(points, [0, 1, 2]))
+        n_tiles = len(qrp.tile_nodes)
+        assert qrp.tile_nodes == list(range(n_tiles))
+        assert qrp.poi_nodes == list(range(n_tiles, qrp.graph.num_nodes))
+
+
+class TestStripEdges:
+    def test_strip_road(self):
+        tree, adjacency, points = _setup()
+        qrp = build_qrp_graph(tree, adjacency, _history(points, list(range(25))))
+        stripped = strip_edges(qrp, "road")
+        assert stripped.graph.num_edges("road") == 0
+        assert stripped.graph.num_edges("contain") == qrp.graph.num_edges("contain")
+        assert stripped.graph.num_nodes == qrp.graph.num_nodes
+
+    def test_strip_does_not_mutate_original(self):
+        tree, adjacency, points = _setup()
+        qrp = build_qrp_graph(tree, adjacency, _history(points, list(range(25))))
+        before = qrp.graph.num_edges("contain")
+        strip_edges(qrp, "contain")
+        assert qrp.graph.num_edges("contain") == before

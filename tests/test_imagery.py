@@ -1,0 +1,166 @@
+"""Tests for the synthetic remote-sensing imagery substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.imagery import (
+    Blob,
+    CityCenter,
+    Coastline,
+    ImageryCatalog,
+    LandUse,
+    LandUseMap,
+    TileRenderer,
+    add_noise,
+    random_land_use_map,
+)
+from repro.roadnet import RoadNetwork
+from repro.spatial import RegionQuadTree
+
+BOX = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+def _map_with_everything():
+    return LandUseMap(
+        bbox=BOX,
+        centers=[CityCenter(3.0, 3.0, commercial_radius=1.0, urban_radius=2.5)],
+        parks=[Blob(7.0, 2.0, 0.8)],
+        industrial=[Blob(2.0, 8.0, 0.9)],
+        coast=Coastline(base=8.5, amplitude=0.2, frequency=0.5, side="east"),
+    )
+
+
+class TestLandUse:
+    def test_class_precedence(self):
+        land = _map_with_everything()
+        assert land.class_at(3.0, 3.0) == LandUse.COMMERCIAL
+        assert land.class_at(3.0, 5.0) == LandUse.RESIDENTIAL  # urban ring
+        assert land.class_at(7.0, 2.0) == LandUse.PARK
+        assert land.class_at(2.0, 8.0) == LandUse.INDUSTRIAL
+        assert land.class_at(9.8, 5.0) == LandUse.WATER
+        assert land.class_at(0.5, 0.5) == LandUse.RURAL
+
+    def test_west_coast(self):
+        land = LandUseMap(bbox=BOX, coast=Coastline(base=1.5, side="west"))
+        assert land.class_at(0.5, 5.0) == LandUse.WATER
+        assert land.class_at(5.0, 5.0) == LandUse.RURAL
+
+    def test_coastal_band(self):
+        land = _map_with_everything()
+        assert land.coastal_band(8.2, 5.0, width=1.0)
+        assert not land.coastal_band(2.0, 5.0, width=1.0)
+
+    def test_city_center_validation(self):
+        with pytest.raises(ValueError):
+            CityCenter(0, 0, commercial_radius=2.0, urban_radius=1.0)
+
+    def test_coastline_side_validation(self):
+        with pytest.raises(ValueError):
+            Coastline(base=1.0, side="north")
+
+    def test_random_map_has_requested_features(self):
+        land = random_land_use_map(BOX, np.random.default_rng(0), n_centers=2, coastal=True)
+        assert len(land.centers) == 2
+        assert land.coast is not None
+
+    def test_vectorised_matches_scalar(self):
+        land = _map_with_everything()
+        xs = np.linspace(0.1, 9.9, 30)
+        ys = np.linspace(0.1, 9.9, 30)
+        vec = land.classes_at(xs, ys)
+        for i in range(30):
+            assert vec[i] == int(land.class_at(xs[i], ys[i]))
+
+
+class TestRenderer:
+    def test_output_shape_and_range(self):
+        renderer = TileRenderer(_map_with_everything(), resolution=32)
+        image = renderer.render(BOX)
+        assert image.shape == (32, 32, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_water_looks_blue(self):
+        renderer = TileRenderer(_map_with_everything(), resolution=32)
+        water_tile = renderer.render(BoundingBox(9.2, 4.0, 9.9, 5.0))
+        mean = water_tile.reshape(-1, 3).mean(axis=0)
+        assert mean[2] > mean[0]  # blue dominates red
+
+    def test_deterministic_rendering(self):
+        renderer = TileRenderer(_map_with_everything(), resolution=16, seed=7)
+        a = renderer.render(BoundingBox(0, 0, 5, 5))
+        b = renderer.render(BoundingBox(0, 0, 5, 5))
+        assert np.array_equal(a, b)
+
+    def test_different_tiles_look_different(self):
+        renderer = TileRenderer(_map_with_everything(), resolution=16)
+        a = renderer.render(BoundingBox(2, 2, 4, 4))  # commercial core
+        b = renderer.render(BoundingBox(8.8, 4, 9.8, 5))  # ocean
+        assert not np.allclose(a, b)
+
+    def test_roads_drawn(self):
+        land = LandUseMap(bbox=BOX)  # all rural: uniform background
+        net = RoadNetwork()
+        net.add_intersection(0, 0.0, 5.0)
+        net.add_intersection(1, 10.0, 5.0)
+        net.add_road(0, 1)
+        with_roads = TileRenderer(land, net, resolution=32).render(BOX)
+        without = TileRenderer(land, None, resolution=32).render(BOX)
+        assert not np.allclose(with_roads, without)
+
+    def test_too_small_resolution_raises(self):
+        with pytest.raises(ValueError):
+            TileRenderer(_map_with_everything(), resolution=2)
+
+
+class TestNoise:
+    def test_noise_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            add_noise(np.zeros((4, 4, 3)), 1.5, np.random.default_rng(0))
+
+    def test_noise_changes_about_right_fraction(self):
+        image = np.zeros((100, 100, 3))
+        noisy = add_noise(image, 0.2, np.random.default_rng(0))
+        changed = (noisy != image).any(axis=2).mean()
+        assert 0.15 < changed < 0.25
+
+    def test_zero_noise_identity(self):
+        image = np.random.default_rng(1).random((8, 8, 3))
+        assert np.array_equal(add_noise(image, 0.0, np.random.default_rng(0)), image)
+
+
+class TestCatalog:
+    def _catalog(self, noise=0.0):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0.5, 9.5, size=(60, 2))
+        tree = RegionQuadTree.build(BOX, points, max_depth=4, max_pois=10)
+        renderer = TileRenderer(_map_with_everything(), resolution=16)
+        return ImageryCatalog(renderer, noise_fraction=noise).bind(tree), tree
+
+    def test_image_cached(self):
+        catalog, tree = self._catalog()
+        first = catalog.image_for(0)
+        second = catalog.image_for(0)
+        assert first is second
+        assert catalog.cache_size() == 1
+
+    def test_images_for_chw_layout(self):
+        catalog, tree = self._catalog()
+        batch = catalog.images_for(tree.leaves()[:3])
+        assert batch.shape == (3, 3, 16, 16)
+
+    def test_unbound_catalog_raises(self):
+        renderer = TileRenderer(_map_with_everything(), resolution=16)
+        with pytest.raises(RuntimeError):
+            ImageryCatalog(renderer).image_for(0)
+
+    def test_noise_applied(self):
+        clean, tree = self._catalog(noise=0.0)
+        noisy, _ = self._catalog(noise=0.3)
+        assert not np.allclose(clean.image_for(0), noisy.image_for(0))
+
+    def test_clear(self):
+        catalog, _ = self._catalog()
+        catalog.image_for(0)
+        catalog.clear()
+        assert catalog.cache_size() == 0

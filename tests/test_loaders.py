@@ -1,0 +1,77 @@
+"""Tests for the real-data check-in loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_checkins, parse_checkin_lines
+
+LINES = [
+    "# user\tvenue\tcategory\tlat\tlon\ttimestamp",
+    "alice\tv1\tcafe\t40.70\t-74.00\t2014-01-01T09:00:00",
+    "alice\tv2\tpark\t40.71\t-74.01\t2014-01-01T11:00:00",
+    "alice\tv1\tcafe\t40.70\t-74.00\t2014-01-02T09:30:00",
+    "alice\tv3\tbar\t40.72\t-73.99\t2014-01-02T21:00:00",
+    "alice\tv2\tpark\t40.71\t-74.01\t2014-01-03T10:00:00",
+    "bob\tv1\tcafe\t40.70\t-74.00\t1388571200",
+    "bob\tv3\tbar\t40.72\t-73.99\t1388574800",
+    "bob\tv1\tcafe\t40.70\t-74.00\t1388578400",
+    "bob\tv2\tpark\t40.71\t-74.01\t1388582000",
+    "bob\tv3\tbar\t40.72\t-73.99\t1388585600",
+]
+
+
+class TestParsing:
+    def test_skips_comments_and_blanks(self):
+        records = parse_checkin_lines(["# header", "", LINES[1]])
+        assert len(records) == 1
+        assert records[0].user == "alice"
+
+    def test_iso_and_unix_timestamps(self):
+        records = parse_checkin_lines([LINES[1], LINES[6]])
+        assert records[0].timestamp_hours > 0
+        assert records[1].timestamp_hours == pytest.approx(1388571200 / 3600.0)
+
+    def test_short_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_checkin_lines(["a\tb\tc"])
+
+
+class TestLoading:
+    def test_reindexing(self):
+        loaded = load_checkins(LINES, min_user_checkins=1)
+        assert loaded.num_users == 2
+        assert len(loaded.pois) == 3
+        assert set(loaded.pois.category_names) == {"cafe", "park", "bar"}
+
+    def test_coordinates_projected_to_km(self):
+        loaded = load_checkins(LINES, min_user_checkins=1)
+        # ~0.02 deg lat span -> ~2.2 km
+        span = loaded.pois.xy[:, 1].max() - loaded.pois.xy[:, 1].min()
+        assert 1.5 < span < 3.0
+        for x, y in loaded.pois.xy:
+            assert loaded.bbox.contains_closed(x, y)
+
+    def test_min_user_filter(self):
+        lines = LINES[1:6] + ["carol\tv1\tcafe\t40.70\t-74.00\t2014-01-01T12:00:00"]
+        loaded = load_checkins(lines, min_user_checkins=5)
+        assert loaded.num_users == 1  # carol dropped
+
+    def test_all_filtered_raises(self):
+        with pytest.raises(ValueError):
+            load_checkins(LINES[1:3], min_user_checkins=50)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            load_checkins(["# only a comment"])
+
+    def test_pipeline_compatibility(self):
+        """Loaded data must drive the full quad-tree + samples pipeline."""
+        from repro.data import split_into_trajectories
+        from repro.spatial import RegionQuadTree
+
+        loaded = load_checkins(LINES, min_user_checkins=1)
+        tree = RegionQuadTree.build(loaded.bbox, loaded.pois.xy, max_depth=4, max_pois=2)
+        assert len(tree.leaves()) >= 1
+        for user in loaded.checkins.users():
+            trajectories = split_into_trajectories(loaded.checkins.of_user(user))
+            assert trajectories

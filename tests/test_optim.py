@@ -1,0 +1,100 @@
+"""Tests for optimisers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Parameter
+from repro.optim import SGD, Adam, ExponentialDecay
+from repro.utils import spawn
+
+
+def _quadratic_loss(p: Parameter) -> Tensor:
+    return ((p - 3.0) * (p - 3.0)).sum()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = _quadratic_loss(p)
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0] - 3.0) < 1e-2
+
+    def test_skips_params_without_grad(self):
+        p, q = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = Adam([p, q], lr=0.1)
+        _quadratic_loss(p).backward()
+        opt.step()
+        assert np.allclose(q.data, [1.0])
+        assert not np.allclose(p.data, [1.0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_grad_clipping_limits_norm(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=1.0, max_grad_norm=0.5)
+        p.grad = np.array([100.0])
+        opt._clip()
+        assert abs(np.linalg.norm(p.grad) - 0.5) < 1e-9
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.0, weight_decay=0.1)
+        # with lr=0 decoupled decay is also zero; use a small lr instead
+        opt.lr = 0.1
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 10.0
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic_loss(p).backward()
+            opt.step()
+        assert abs(p.data[0] - 3.0) < 1e-2
+
+    def test_plain_step_is_gradient_descent(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert np.allclose(p.data, [0.0])
+
+
+class TestScheduler:
+    def test_exponential_decay_schedule(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=2e-5)
+        sched = ExponentialDecay(opt, gamma=0.95)
+        sched.step()
+        assert np.isclose(opt.lr, 2e-5 * 0.95)
+        sched.step()
+        assert np.isclose(opt.lr, 2e-5 * 0.95 ** 2)
+
+
+class TestEndToEndTraining:
+    def test_linear_regression_learns(self):
+        """A single Linear layer should fit y = 2x + 1."""
+        rng = spawn(0)
+        layer = Linear(1, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        x = np.linspace(-1, 1, 32).reshape(-1, 1)
+        y = 2.0 * x + 1.0
+        for _ in range(400):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert abs(layer.weight.data[0, 0] - 2.0) < 0.05
+        assert abs(layer.bias.data[0] - 1.0) < 0.05

@@ -1,0 +1,125 @@
+"""Tests for the road network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.roadnet import (
+    RoadNetwork,
+    generate_state_network,
+    generate_urban_network,
+    tile_road_adjacency,
+)
+from repro.spatial import GridIndex, RegionQuadTree
+
+BOX = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+class TestRoadNetwork:
+    def test_add_and_measure(self):
+        net = RoadNetwork()
+        net.add_intersection(0, 0.0, 0.0)
+        net.add_intersection(1, 3.0, 4.0)
+        net.add_road(0, 1)
+        assert net.num_intersections == 2
+        assert net.num_roads == 1
+        assert net.total_length() == pytest.approx(5.0)
+
+    def test_add_road_unknown_node_raises(self):
+        net = RoadNetwork()
+        net.add_intersection(0, 0, 0)
+        with pytest.raises(KeyError):
+            net.add_road(0, 99)
+
+    def test_segments_iteration(self):
+        net = RoadNetwork()
+        net.add_intersection(0, 0, 0)
+        net.add_intersection(1, 1, 0)
+        net.add_road(0, 1, kind="highway")
+        ((a, b, kind),) = list(net.segments())
+        assert kind == "highway"
+
+    def test_density_higher_where_roads_are(self):
+        net = RoadNetwork()
+        for i in range(5):
+            net.add_intersection(i, 0.5 + i * 0.1, 0.5)
+        for i in range(4):
+            net.add_road(i, i + 1)
+        dense = net.density_in(BoundingBox(0, 0, 1, 1))
+        empty = net.density_in(BoundingBox(9, 9, 10, 10))
+        assert dense > empty == 0.0
+
+
+class TestGenerators:
+    def test_urban_network_is_connected_mostly(self):
+        net = generate_urban_network(BOX, np.random.default_rng(0))
+        assert net.num_intersections > 100
+        assert net.largest_component_fraction() > 0.95
+
+    def test_urban_nodes_inside_bbox(self):
+        net = generate_urban_network(BOX, np.random.default_rng(1))
+        for node in net.graph.nodes:
+            x, y = net.position(node)
+            assert BOX.contains_closed(x, y)
+
+    def test_state_network_connects_cities(self):
+        centers = [(2.0, 2.0), (8.0, 8.0), (2.0, 8.0)]
+        net = generate_state_network(BOX, np.random.default_rng(2), centers)
+        assert net.largest_component_fraction() == pytest.approx(1.0)
+
+    def test_state_network_requires_cities(self):
+        with pytest.raises(ValueError):
+            generate_state_network(BOX, np.random.default_rng(0), [])
+
+    def test_state_has_highways(self):
+        centers = [(2.0, 2.0), (8.0, 8.0)]
+        net = generate_state_network(BOX, np.random.default_rng(3), centers)
+        kinds = {kind for _, _, kind in net.segments()}
+        assert "highway" in kinds
+
+
+class TestTileAdjacency:
+    def _tree(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0.1, 9.9, size=(120, 2))
+        return RegionQuadTree.build(BOX, points, max_depth=4, max_pois=12)
+
+    def test_crossing_road_connects_tiles(self):
+        tree = self._tree()
+        net = RoadNetwork()
+        net.add_intersection(0, 0.5, 5.0)
+        net.add_intersection(1, 9.5, 5.0)
+        net.add_road(0, 1)
+        pairs = tile_road_adjacency(tree, net)
+        assert pairs, "a road across the region must connect some tiles"
+        leaves = set(tree.leaves())
+        for a, b in pairs:
+            assert a in leaves and b in leaves
+            assert a < b  # canonical ordering
+
+    def test_no_roads_no_adjacency(self):
+        tree = self._tree()
+        assert tile_road_adjacency(tree, RoadNetwork()) == set()
+
+    def test_adjacent_pairs_share_boundary_or_near(self):
+        """Sampled consecutive tiles along a straight road are spatially close."""
+        tree = self._tree()
+        net = generate_urban_network(BOX, np.random.default_rng(5))
+        pairs = tile_road_adjacency(tree, net)
+        for a, b in list(pairs)[:20]:
+            box_a, box_b = tree.node(a).bbox, tree.node(b).bbox
+            gap_x = max(box_a.min_x - box_b.max_x, box_b.min_x - box_a.max_x, 0)
+            gap_y = max(box_a.min_y - box_b.max_y, box_b.min_y - box_a.max_y, 0)
+            assert gap_x < 1e-9 or gap_y < 1e-9  # touching in at least one axis
+
+    def test_works_with_grid_index(self):
+        rng = np.random.default_rng(6)
+        points = rng.uniform(0.1, 9.9, size=(50, 2))
+        grid = GridIndex.build(BOX, points, n=4)
+        net = RoadNetwork()
+        net.add_intersection(0, 0.5, 0.5)
+        net.add_intersection(1, 9.5, 0.5)
+        net.add_road(0, 1)
+        pairs = tile_road_adjacency(grid, net)
+        # the road crosses the whole bottom row: cells 0-1, 1-2, 2-3
+        assert (0, 1) in pairs and (1, 2) in pairs and (2, 3) in pairs

@@ -1,0 +1,165 @@
+"""Tests for the region quad-tree and the grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox
+from repro.spatial import GridIndex, RegionQuadTree
+
+BOX = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+def _random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.05, 9.95, size=(n, 2))
+
+
+class TestQuadTreeConstruction:
+    def test_no_split_under_threshold(self):
+        tree = RegionQuadTree.build(BOX, _random_points(5), max_depth=5, max_pois=10)
+        assert len(tree) == 1
+        assert tree.root.is_leaf
+
+    def test_splits_over_threshold(self):
+        tree = RegionQuadTree.build(BOX, _random_points(50), max_depth=5, max_pois=10)
+        assert len(tree) > 1
+        assert not tree.root.is_leaf
+
+    def test_omega_respected_when_depth_allows(self):
+        tree = RegionQuadTree.build(BOX, _random_points(200, seed=1), max_depth=10, max_pois=8)
+        for leaf in tree.leaves():
+            assert len(tree.pois_in_leaf(leaf)) <= 8
+
+    def test_max_depth_caps_splitting(self):
+        # all points in one corner would need depth >> 2 to satisfy omega
+        points = np.full((100, 2), 0.01)
+        tree = RegionQuadTree.build(BOX, points, max_depth=2, max_pois=1)
+        assert tree.depth() <= 2
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            RegionQuadTree(BOX, max_depth=-1)
+        with pytest.raises(ValueError):
+            RegionQuadTree(BOX, max_pois=0)
+        with pytest.raises(ValueError):
+            RegionQuadTree.build(BOX, np.zeros((3, 3)))
+
+
+class TestQuadTreeInvariants:
+    def test_every_poi_in_exactly_one_leaf(self):
+        points = _random_points(120, seed=2)
+        tree = RegionQuadTree.build(BOX, points, max_depth=6, max_pois=10)
+        seen = {}
+        for leaf in tree.leaves():
+            for pid in tree.pois_in_leaf(leaf):
+                assert pid not in seen, "POI in two leaves"
+                seen[pid] = leaf
+        assert len(seen) == len(points)
+
+    def test_leaf_for_point_matches_assignment(self):
+        points = _random_points(80, seed=3)
+        tree = RegionQuadTree.build(BOX, points, max_depth=6, max_pois=10)
+        for pid, (x, y) in enumerate(points):
+            assert tree.leaf_for_point(x, y) == tree.leaf_of_poi(pid)
+
+    def test_leaves_cover_region(self):
+        tree = RegionQuadTree.build(BOX, _random_points(100, seed=4), max_depth=6, max_pois=10)
+        total = sum(tree.node(leaf).bbox.area for leaf in tree.leaves())
+        assert total == pytest.approx(BOX.area)
+
+    def test_point_outside_raises(self):
+        tree = RegionQuadTree.build(BOX, _random_points(10), max_depth=3, max_pois=5)
+        with pytest.raises(ValueError):
+            tree.leaf_for_point(100.0, 0.0)
+
+    def test_path_to_root(self):
+        tree = RegionQuadTree.build(BOX, _random_points(100, seed=5), max_depth=6, max_pois=10)
+        leaf = tree.leaves()[0]
+        path = tree.path_to_root(leaf)
+        assert path[0] == leaf and path[-1] == 0
+        depths = [tree.node(n).depth for n in path]
+        assert depths == sorted(depths, reverse=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 120), st.integers(0, 10_000))
+    def test_property_leaf_unique_and_bounded(self, n, seed):
+        points = _random_points(n, seed=seed)
+        tree = RegionQuadTree.build(BOX, points, max_depth=6, max_pois=9)
+        counted = sum(len(tree.pois_in_leaf(l)) for l in tree.leaves())
+        assert counted == n
+        if tree.depth() < 6:
+            assert all(len(tree.pois_in_leaf(l)) <= 9 for l in tree.leaves())
+
+
+class TestMinimalSubtree:
+    def test_single_leaf_path(self):
+        tree = RegionQuadTree.build(BOX, _random_points(100, seed=6), max_depth=6, max_pois=10)
+        leaf = tree.leaves()[0]
+        nodes, edges = tree.minimal_subtree([leaf])
+        assert leaf in nodes
+        assert len(edges) == len(nodes) - 1  # a path is a tree
+
+    def test_subtree_is_connected_tree(self):
+        tree = RegionQuadTree.build(BOX, _random_points(200, seed=7), max_depth=6, max_pois=10)
+        leaves = tree.leaves()[:5]
+        nodes, edges = tree.minimal_subtree(leaves)
+        assert set(l for l in leaves).issubset(nodes)
+        assert len(edges) == len(nodes) - 1
+        # every edge endpoint is in the node set
+        for parent, child in edges:
+            assert parent in nodes and child in nodes
+
+    def test_empty_input(self):
+        tree = RegionQuadTree.build(BOX, _random_points(10), max_depth=3, max_pois=5)
+        nodes, edges = tree.minimal_subtree([])
+        assert nodes == set() and edges == []
+
+    def test_minimality_root_pruned_for_sibling_leaves(self):
+        """If all covered leaves share an ancestor below the root, the
+        sub-tree must be rooted at that ancestor (no chain to the root)."""
+        points = _random_points(300, seed=8)
+        tree = RegionQuadTree.build(BOX, points, max_depth=6, max_pois=10)
+        # pick a non-root internal node and its descendant leaves
+        internal = next(
+            n for n in tree.nodes if not n.is_leaf and n.parent_id is not None
+        )
+        descendants = [
+            l for l in tree.leaves()
+            if internal.node_id in tree.path_to_root(l)
+        ]
+        nodes, _ = tree.minimal_subtree(descendants)
+        assert 0 not in nodes or internal.node_id == 0
+
+
+class TestGridIndex:
+    def test_cell_count(self):
+        grid = GridIndex.build(BOX, _random_points(50), n=4)
+        assert len(grid) == 16
+        assert len(grid.leaves()) == 16
+
+    def test_every_point_assigned(self):
+        points = _random_points(60, seed=9)
+        grid = GridIndex.build(BOX, points, n=5)
+        total = sum(len(grid.pois_in_leaf(c)) for c in grid.leaves())
+        assert total == len(points)
+
+    def test_leaf_for_point_consistency(self):
+        points = _random_points(40, seed=10)
+        grid = GridIndex.build(BOX, points, n=5)
+        for pid, (x, y) in enumerate(points):
+            assert grid.leaf_for_point(x, y) == grid.leaf_of_poi(pid)
+
+    def test_bbox_of_tiles(self):
+        grid = GridIndex(BOX, 2)
+        assert grid.bbox_of(0).min_x == 0 and grid.bbox_of(3).max_x == 10
+
+    def test_neighbors(self):
+        grid = GridIndex(BOX, 3)
+        assert sorted(grid.neighbors(4)) == [1, 3, 5, 7]  # centre cell
+        assert len(grid.neighbors(0)) == 2  # corner
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            GridIndex(BOX, 0)

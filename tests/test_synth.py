@@ -1,0 +1,130 @@
+"""Tests for the synthetic LBSN generator and dataset presets."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthConfig, build_dataset, compute_stats, get_spec
+from repro.data.synth import _category_groups, generate_city
+from repro.geo import BoundingBox
+from repro.imagery import LandUse, LandUseMap, Coastline
+from repro.roadnet import RoadNetwork
+
+BOX = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+def _tiny_city(seed=0, **overrides):
+    config = SynthConfig(
+        n_pois=80, n_users=8, n_categories=12, n_days=12, seed=seed, **overrides
+    )
+    land = LandUseMap(bbox=BOX)
+    from repro.imagery import CityCenter
+
+    land.centers.append(CityCenter(5.0, 5.0, 1.5, 3.5))
+    return generate_city(BOX, land, RoadNetwork(), config)
+
+
+class TestCategoryGroups:
+    def test_all_categories_assigned(self):
+        groups, names = _category_groups(20)
+        assert len(groups) == 20 and len(names) == 20
+
+    def test_commercial_largest_share(self):
+        groups, _ = _category_groups(30)
+        counts = {g: int((groups == g).sum()) for g in set(groups.tolist())}
+        assert counts[int(LandUse.COMMERCIAL)] == max(counts.values())
+
+
+class TestGeneration:
+    def test_poi_count_and_ids(self):
+        city = _tiny_city()
+        assert len(city.pois) == 80
+        assert city.pois.categories.max() < 12
+
+    def test_no_pois_in_water(self):
+        land = LandUseMap(bbox=BOX, coast=Coastline(base=7.0, side="east"))
+        config = SynthConfig(n_pois=60, n_users=4, n_categories=12, n_days=8, seed=1)
+        city = generate_city(BOX, land, RoadNetwork(), config)
+        classes = land.classes_at(city.pois.xy[:, 0], city.pois.xy[:, 1])
+        assert (classes != int(LandUse.WATER)).all()
+
+    def test_pois_cluster_in_city(self):
+        """Density inside the urban core exceeds the rural fringe."""
+        city = _tiny_city()
+        xy = city.pois.xy
+        center_dist = np.sqrt(((xy - [5.0, 5.0]) ** 2).sum(axis=1))
+        inner = (center_dist < 3.5).mean() / (3.5 ** 2)
+        outer = (center_dist >= 3.5).mean() / (10 ** 2 - 3.5 ** 2)
+        assert inner > outer
+
+    def test_checkins_sorted_and_valid(self):
+        city = _tiny_city()
+        assert len(city.checkins) > 0
+        for a, b in zip(city.checkins, city.checkins[1:]):
+            assert (a.user_id, a.timestamp) <= (b.user_id, b.timestamp)
+            assert 0 <= a.poi_id < len(city.pois)
+
+    def test_deterministic_given_seed(self):
+        a, b = _tiny_city(seed=3), _tiny_city(seed=3)
+        assert [c.poi_id for c in a.checkins] == [c.poi_id for c in b.checkins]
+
+    def test_different_seeds_differ(self):
+        a, b = _tiny_city(seed=4), _tiny_city(seed=5)
+        assert [c.poi_id for c in a.checkins] != [c.poi_id for c in b.checkins]
+
+    def test_users_have_profiles(self):
+        city = _tiny_city()
+        for user in city.users:
+            assert user.favorites
+            assert user.poi_affinity.shape == (len(city.pois),)
+            assert 0 <= user.home_poi < len(city.pois)
+
+    def test_repeat_behaviour_present(self):
+        """Users revisit: unique POIs per user < check-ins per user."""
+        city = _tiny_city()
+        by_user = {}
+        for record in city.checkins:
+            by_user.setdefault(record.user_id, []).append(record.poi_id)
+        revisit = [len(set(v)) / len(v) for v in by_user.values() if len(v) > 10]
+        assert revisit and np.mean(revisit) < 0.9
+
+    def test_impossible_config_raises(self):
+        land = LandUseMap(bbox=BOX, coast=Coastline(base=0.0001, side="east"))  # ~all water
+        config = SynthConfig(n_pois=50, n_users=2, n_categories=12, n_days=5)
+        with pytest.raises(RuntimeError):
+            generate_city(BOX, land, RoadNetwork(), config)
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in ("nyc", "tky", "california", "florida"):
+            ds = build_dataset(name, seed=0, scale=0.12, imagery_resolution=16)
+            stats = compute_stats(ds)
+            assert stats.checkins > 0
+            assert stats.leaf_tiles >= 1
+            assert ds.imagery.resolution == 16
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_spec("paris")
+
+    def test_scale_grows_dataset(self):
+        small = get_spec("nyc").scaled(0.2)
+        large = get_spec("nyc").scaled(1.0)
+        assert small.n_users < large.n_users
+        assert small.n_pois < large.n_pois
+
+    def test_urban_vs_state_coverage(self):
+        urban = get_spec("nyc").bbox.area
+        state = get_spec("california").bbox.area
+        assert state / urban > 500  # paper: ~1000x
+
+    def test_noise_fraction_flows_to_imagery(self):
+        ds = build_dataset("nyc", seed=0, scale=0.12, imagery_resolution=16, noise_fraction=0.2)
+        assert ds.imagery.noise_fraction == 0.2
+
+    def test_florida_has_east_coast_water(self):
+        ds = build_dataset("florida", seed=0, scale=0.12, imagery_resolution=16)
+        land = ds.city.land_use
+        assert land.coast is not None and land.coast.side == "east"
+        east = land.class_at(ds.spec.bbox.max_x - 0.01, ds.spec.bbox.center[1])
+        assert east == LandUse.WATER

@@ -1,0 +1,75 @@
+"""Focused tests for the two-step prediction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_step import (
+    candidate_pois,
+    rank_by_cosine,
+    rank_of_target,
+    rank_pois,
+    rank_tiles,
+    select_tiles,
+)
+
+
+class _FakeTileSystem:
+    def __init__(self, mapping):
+        self._mapping = mapping
+
+    def pois_in_leaf(self, leaf):
+        return list(self._mapping.get(leaf, []))
+
+
+class TestRanking:
+    def test_rank_by_cosine_scale_invariant(self):
+        out = np.array([2.0, 1.0])
+        cands = np.random.default_rng(0).normal(size=(6, 2))
+        a = rank_by_cosine(out, cands)
+        b = rank_by_cosine(out * 100.0, cands * 0.01)
+        assert np.array_equal(a, b)
+
+    def test_rank_by_cosine_stable_on_ties(self):
+        out = np.array([1.0, 0.0])
+        cands = np.array([[2.0, 0.0], [2.0, 0.0]])  # identical rows: exact tie
+        assert list(rank_by_cosine(out, cands)) == [0, 1]
+
+    def test_select_tiles_top_k(self):
+        out = np.array([1.0, 0.0])
+        leaf_ids = [10, 20, 30]
+        embeddings = np.array([[0.0, 1.0], [1.0, 0.0], [0.7, 0.7]])
+        assert select_tiles(out, embeddings, leaf_ids, k=2) == [20, 30]
+
+    def test_rank_tiles_full_list(self):
+        out = np.array([1.0, 0.0])
+        leaf_ids = [10, 20]
+        embeddings = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert rank_tiles(out, embeddings, leaf_ids) == [20, 10]
+
+
+class TestCandidates:
+    def test_candidate_pois_concatenates_in_tile_order(self):
+        system = _FakeTileSystem({1: [5, 6], 2: [7]})
+        assert candidate_pois(system, [2, 1]) == [7, 5, 6]
+
+    def test_empty_tiles_yield_empty(self):
+        system = _FakeTileSystem({})
+        assert candidate_pois(system, [1, 2]) == []
+
+    def test_rank_pois_empty_candidates(self):
+        assert rank_pois(np.array([1.0, 0.0]), np.zeros((0, 2)), []) == []
+
+    def test_rank_pois_orders_by_similarity(self):
+        out = np.array([1.0, 0.0])
+        ids = [100, 200]
+        emb = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert rank_pois(out, emb, ids) == [200, 100]
+
+
+class TestRankOfTarget:
+    def test_found(self):
+        assert rank_of_target([4, 2, 9], 9) == 3
+
+    def test_missing_is_len_plus_one(self):
+        assert rank_of_target([], 1) == 1  # |R|+1 with empty R
+        assert rank_of_target([2, 3], 9) == 3
