@@ -1,0 +1,40 @@
+"""Serving throughput — cached vs uncached shared-embedding inference.
+
+Seeds the BENCH trajectory for the ``repro.serve`` subsystem: measures
+samples/sec when the :class:`~repro.serve.Predictor` facade reuses its
+cached embedding tables versus the legacy research loop that recomputed
+``compute_embeddings()`` on every ``predict`` call.
+
+Expected shape: the cached path wins by roughly the ratio of
+embedding-table cost to per-sample encode cost; the gap widens with
+imagery resolution and POI count.
+"""
+
+import pytest
+
+from repro.experiments import format_table, prepare, run_one
+from repro.serve import compare_throughput
+
+pytestmark = pytest.mark.slow
+
+
+def bench_serve_throughput(benchmark, profile, save_report):
+    small = profile.smaller(0.5)
+    data = prepare("nyc", small)
+    _, model = run_one("TSPN-RA", data, small)
+    test = data.splits.test[:80]
+
+    report = benchmark.pedantic(
+        compare_throughput, args=(model, test), rounds=1, iterations=1
+    )
+
+    rows = [[key, f"{value:10.2f}"] for key, value in report.items()]
+    save_report(
+        "serve_throughput",
+        format_table(
+            ["Metric", "Value"],
+            rows,
+            title="Serving throughput — cached vs uncached (NYC)",
+        ),
+    )
+    assert report["speedup"] > 1.0, report

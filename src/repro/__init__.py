@@ -3,6 +3,8 @@ remote-sensing augmentation (ICDE 2024).
 
 Public API tour
 ---------------
+Research loop — build, train, evaluate:
+
 >>> from repro.data import build_dataset, make_samples, split_samples
 >>> from repro.core import TSPNRA, TSPNRAConfig
 >>> from repro.train import Trainer, TrainConfig
@@ -13,13 +15,29 @@ Public API tour
 >>> Trainer(model, TrainConfig(epochs=2)).fit(splits.train)  # doctest: +SKIP
 >>> evaluate(model, splits.test)  # doctest: +SKIP
 
+Serving loop — persist, reload, serve (``repro.serve``):
+
+>>> from repro.serve import Predictor, save_checkpoint  # doctest: +SKIP
+>>> save_checkpoint(model, "tspnra.npz", dataset=dataset)  # doctest: +SKIP
+>>> predictor = Predictor.from_checkpoint("tspnra.npz")  # doctest: +SKIP
+>>> predictor.predict_batch(splits.test[:32])  # doctest: +SKIP
+>>> predictor.recommend(splits.test[0].prefix, k=5)  # doctest: +SKIP
+>>> predictor.stats.throughput  # doctest: +SKIP
+
+Every model — TSPN-RA and all ten baselines — conforms to
+``repro.serve.PredictorProtocol``: one result type
+(``PredictorResult``), shared-state inference
+(``compute_embeddings()`` / ``predict(sample, *shared)``),
+``score_candidates``, ``top_k`` and ``target_rank``.
+
 Sub-packages: ``autograd`` / ``nn`` / ``optim`` (the ML substrate),
 ``geo`` / ``spatial`` / ``roadnet`` / ``imagery`` (the urban substrate),
 ``data`` (check-ins), ``graphs`` (QR-P), ``core`` (the model),
-``baselines``, ``train``, ``eval``, ``experiments``.
+``baselines``, ``train``, ``eval``, ``serve`` (checkpoints + serving
+facade), ``experiments``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import (
     autograd,
@@ -34,6 +52,7 @@ from . import (
     nn,
     optim,
     roadnet,
+    serve,
     spatial,
     train,
     utils,
@@ -52,6 +71,7 @@ __all__ = [
     "nn",
     "optim",
     "roadnet",
+    "serve",
     "spatial",
     "train",
     "utils",

@@ -6,11 +6,15 @@ credits (or blames) for the original model's behaviour, on top of the
 same autograd engine TSPN-RA uses, so efficiency and effectiveness
 comparisons are apples-to-apples.
 
-All neural baselines share one contract:
+All baselines conform to the serve-wide
+:class:`~repro.serve.protocol.PredictorProtocol`:
 
 * ``score(sample) -> Tensor``: logits over the full POI vocabulary;
 * ``loss_sample(sample)``: cross-entropy against the true next POI;
-* ``predict(sample) -> BaselineResult``: full ranked POI list.
+* ``predict(sample, *shared) -> PredictorResult``: full ranked POI
+  list (shared state is empty for baselines and ignored);
+* ``score_candidates(sample, ids, *shared)``: logits restricted to a
+  candidate set.
 
 Count-based models (MC) implement ``fit(samples)`` instead of
 gradient training; the experiment harness dispatches on
@@ -19,31 +23,21 @@ gradient training; the experiment harness dispatches on
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..autograd import Tensor, cross_entropy, no_grad
-from ..core.two_step import rank_of_target
 from ..data.trajectory import PredictionSample
 from ..nn import Embedding, Module
+from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
 from ..utils.rng import default_rng
 
-
-@dataclass
-class BaselineResult:
-    """Inference output mirroring :class:`repro.core.model.PredictionResult`."""
-
-    ranked_pois: List[int]
-    target_poi: int
-
-    @property
-    def poi_rank(self) -> int:
-        return rank_of_target(self.ranked_pois, self.target_poi)
+# The historic baseline-only result type is now the serve-wide one.
+BaselineResult = PredictorResult
 
 
-class NextPOIBaseline(Module):
+class NextPOIBaseline(Module, PredictorBase):
     """Base class for gradient-trained baselines."""
 
     name = "baseline"
@@ -63,11 +57,22 @@ class NextPOIBaseline(Module):
         logits = self.score(sample)
         return cross_entropy(logits.reshape(1, -1), np.array([sample.target.poi_id]))
 
-    def predict(self, sample: PredictionSample) -> BaselineResult:
+    def predict(
+        self, sample: PredictionSample, *shared, k: Optional[int] = None
+    ) -> PredictorResult:
         with no_grad():
             logits = self.score(sample).data
         order = np.argsort(-logits, kind="stable")
-        return BaselineResult(ranked_pois=[int(i) for i in order], target_poi=sample.target.poi_id)
+        return PredictorResult(
+            ranked_pois=[int(i) for i in order], target_poi=target_poi_of(sample)
+        )
+
+    def score_candidates(
+        self, sample: PredictionSample, candidate_ids: Sequence[int], *shared
+    ) -> np.ndarray:
+        with no_grad():
+            logits = self.score(sample).data
+        return logits[np.asarray(candidate_ids, dtype=np.int64)]
 
 
 class SequenceEmbedder(Module):

@@ -12,7 +12,7 @@ Two defining mechanisms, both kept:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -57,6 +57,15 @@ class GraphFlashback(NextPOIBaseline):
         counts = counts + counts.T + np.eye(self.num_pois)  # symmetrise + self-loops
         degree = counts.sum(axis=1, keepdims=True)
         self._adjacency = counts / degree
+
+    # The fitted graph is inference state a checkpoint must carry.
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        return {"adjacency": self._adjacency.copy()}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        state = dict(state)
+        self._adjacency = np.asarray(state.pop("adjacency"), dtype=np.float64).copy()
+        super().load_extra_state(state)  # reject anything unconsumed
 
     def _smoothed_table(self) -> Tensor:
         """Simplified-GCN propagation over the transition graph."""

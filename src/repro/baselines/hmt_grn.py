@@ -20,6 +20,7 @@ from ..data.trajectory import PredictionSample
 from ..geo import BoundingBox
 from ..nn import GRU, Linear
 from ..utils.rng import default_rng
+from ..serve.protocol import target_poi_of
 from .base import BaselineResult, NextPOIBaseline, SequenceEmbedder
 
 
@@ -87,7 +88,7 @@ class HMTGRN(NextPOIBaseline):
         )
         return loss
 
-    def predict(self, sample: PredictionSample) -> BaselineResult:
+    def predict(self, sample: PredictionSample, *shared, k=None) -> BaselineResult:
         """Hierarchical Beam Search: coarse -> fine -> POIs."""
         with no_grad():
             hidden = self._trunk(sample)
@@ -104,4 +105,6 @@ class HMTGRN(NextPOIBaseline):
         # POIs in the beam first (by logit), then the rest (by logit):
         biased = poi_logits + np.where(in_beam, 1e6, 0.0)
         order = np.argsort(-biased, kind="stable")
-        return BaselineResult(ranked_pois=[int(i) for i in order], target_poi=sample.target.poi_id)
+        return BaselineResult(
+            ranked_pois=[int(i) for i in order], target_poi=target_poi_of(sample)
+        )

@@ -7,15 +7,15 @@ to global popularity for unseen source POIs.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..data.trajectory import PredictionSample
-from .base import BaselineResult
+from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
 
 
-class MarkovChain:
+class MarkovChain(PredictorBase):
     """Count-based model; no gradients."""
 
     name = "MC"
@@ -27,6 +27,7 @@ class MarkovChain:
         self.transitions = np.zeros((num_pois, num_pois), dtype=np.float64)
         self.popularity = np.zeros(num_pois, dtype=np.float64)
         self._fitted = False
+        self._version = 0
 
     def fit(self, samples: Sequence[PredictionSample]) -> "MarkovChain":
         """Count transitions along every (prefix, target) chain."""
@@ -37,6 +38,7 @@ class MarkovChain:
             for poi in chain:
                 self.popularity[poi] += 1.0
         self._fitted = True
+        self._version += 1
         return self
 
     def scores(self, sample: PredictionSample) -> np.ndarray:
@@ -49,9 +51,18 @@ class MarkovChain:
             return pop
         return row / row.sum() + self.smoothing * pop
 
-    def predict(self, sample: PredictionSample) -> BaselineResult:
+    def predict(
+        self, sample: PredictionSample, *shared, k: Optional[int] = None
+    ) -> PredictorResult:
         order = np.argsort(-self.scores(sample), kind="stable")
-        return BaselineResult(ranked_pois=[int(i) for i in order], target_poi=sample.target.poi_id)
+        return PredictorResult(
+            ranked_pois=[int(i) for i in order], target_poi=target_poi_of(sample)
+        )
+
+    def score_candidates(
+        self, sample: PredictionSample, candidate_ids: Sequence[int], *shared
+    ) -> np.ndarray:
+        return self.scores(sample)[np.asarray(candidate_ids, dtype=np.int64)]
 
     # interface parity with Module-based baselines
     def eval(self):
@@ -62,3 +73,22 @@ class MarkovChain:
 
     def num_parameters(self) -> int:
         return 0
+
+    def weights_version(self) -> int:
+        return self._version
+
+    # ------------------------------------------------------------------
+    # persistence (the count tables ARE the weights)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "transitions": self.transitions.copy(),
+            "popularity": self.popularity.copy(),
+            "fitted": np.array([1.0 if self._fitted else 0.0]),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.transitions = np.asarray(state["transitions"], dtype=np.float64).copy()
+        self.popularity = np.asarray(state["popularity"], dtype=np.float64).copy()
+        self._fitted = bool(np.asarray(state["fitted"]).ravel()[0] > 0)
+        self._version += 1

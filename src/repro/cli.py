@@ -6,6 +6,8 @@ Commands
 ``run <id>``               regenerate one paper table/figure
 ``stats <preset>``         print a dataset preset's statistics
 ``train <preset>``         train TSPN-RA on a preset and report metrics
+``predict <preset>``       serve sample predictions (train or load a checkpoint)
+``serve-bench <preset>``   cached vs uncached inference throughput
 """
 
 from __future__ import annotations
@@ -37,7 +39,51 @@ def _build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("preset")
     train_parser.add_argument("--seed", type=int, default=0)
     train_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+    train_parser.add_argument("--save", default=None, metavar="PATH",
+                              help="write a reloadable checkpoint after training")
+
+    predict_parser = sub.add_parser(
+        "predict", help="serve predictions from a trained model or checkpoint"
+    )
+    predict_parser.add_argument("preset", nargs="?", default=None,
+                                help="dataset preset (omit with --checkpoint)")
+    predict_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                                help="load this checkpoint instead of training")
+    predict_parser.add_argument("--save", default=None, metavar="PATH",
+                                help="write a checkpoint after training")
+    predict_parser.add_argument("--model", default="TSPN-RA")
+    predict_parser.add_argument("--seed", type=int, default=0)
+    predict_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+    predict_parser.add_argument("--samples", type=int, default=8,
+                                help="number of test samples to serve")
+    predict_parser.add_argument("--top-k", type=int, default=5, dest="top_k")
+
+    bench_parser = sub.add_parser(
+        "serve-bench", help="benchmark cached vs uncached inference throughput"
+    )
+    bench_parser.add_argument("preset")
+    bench_parser.add_argument("--model", default="TSPN-RA")
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+    bench_parser.add_argument("--requests", type=int, default=100,
+                              help="number of test samples to serve per pass")
+    bench_parser.add_argument("--scale", type=float, default=None,
+                              help="override the profile's dataset scale")
     return parser
+
+
+def _trained_model(args):
+    """Train ``args.model`` per the CLI's preset/profile flags."""
+    from .experiments import get_profile, prepare, run_one
+
+    profile = get_profile(args.profile)
+    if getattr(args, "scale", None) is not None:
+        from dataclasses import replace
+
+        profile = replace(profile, dataset_scale=args.scale)
+    data = prepare(args.preset, profile, seed=args.seed)
+    _, model = run_one(args.model, data, profile, seed=args.seed)
+    return model, data
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -68,13 +114,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "train":
-        from .experiments import eval_model, get_profile, prepare, run_one
+        from .experiments import get_profile, prepare, run_one
+        from .serve import save_checkpoint
 
         profile = get_profile(args.profile)
         data = prepare(args.preset, profile, seed=args.seed)
-        metrics, _ = run_one("TSPN-RA", data, profile, seed=args.seed)
+        metrics, model = run_one("TSPN-RA", data, profile, seed=args.seed)
         for name, value in metrics.items():
             print(f"{name:12s} {value:.4f}")
+        if args.save:
+            path = save_checkpoint(model, args.save, dataset=data.dataset)
+            print(f"checkpoint saved to {path}")
+        return 0
+
+    if args.command == "predict":
+        from .experiments import make_predictor
+        from .serve import save_checkpoint
+
+        if args.checkpoint:
+            from .data import make_samples, split_samples
+            from .serve import load_checkpoint
+
+            try:
+                loaded = load_checkpoint(args.checkpoint)
+            except FileNotFoundError:
+                print(f"predict: checkpoint not found: {args.checkpoint}", file=sys.stderr)
+                return 2
+            except ValueError as error:  # no dataset recipe, format/POI mismatch
+                print(f"predict: cannot load checkpoint: {error}", file=sys.stderr)
+                return 2
+            model, dataset = loaded.model, loaded.dataset
+            split_seed = loaded.meta.get("dataset", {}).get("seed", args.seed)
+            splits = split_samples(make_samples(dataset), seed=split_seed)
+            if args.save:  # re-save (e.g. to attach the rebuilt dataset recipe)
+                path = save_checkpoint(model, args.save, dataset=dataset)
+                print(f"checkpoint saved to {path}")
+        else:
+            if args.preset is None:
+                print("predict: provide a preset or --checkpoint", file=sys.stderr)
+                return 2
+            model, data = _trained_model(args)
+            splits = data.splits
+            if args.save:
+                path = save_checkpoint(model, args.save, dataset=data.dataset)
+                print(f"checkpoint saved to {path}")
+
+        predictor = make_predictor(model)
+        test = splits.test[: args.samples]
+        results = predictor.predict_batch(test)
+        for sample, result in zip(test, results):
+            top = ", ".join(str(p) for p in result.top_k(args.top_k))
+            print(
+                f"user {sample.user_id:4d}  target {result.target_poi:5d}  "
+                f"rank {result.poi_rank:4d}  top-{args.top_k}: [{top}]"
+            )
+        stats = predictor.stats
+        print(
+            f"served {stats.requests} requests in {stats.total_seconds:.3f}s "
+            f"({stats.throughput:.1f} samples/s, "
+            f"mean latency {stats.mean_latency_ms:.2f} ms)"
+        )
+        return 0
+
+    if args.command == "serve-bench":
+        from .serve import compare_throughput
+
+        model, data = _trained_model(args)
+        test = data.splits.test[: args.requests]
+        report = compare_throughput(model, test)
+        for key, value in report.items():
+            print(f"{key:18s} {value:10.2f}")
         return 0
 
     return 1  # unreachable: argparse enforces a command

@@ -11,6 +11,7 @@ from .tile_embedding import ImageTileEmbedder, TableTileEmbedder
 from .tilesystem import GridTileSystem, QuadTreeTileSystem
 from .two_step import (
     candidate_pois,
+    cosine_similarities,
     rank_by_cosine,
     rank_of_target,
     rank_pois,
@@ -37,6 +38,7 @@ __all__ = [
     "candidate_pois",
     "combined_loss",
     "cosine_scores",
+    "cosine_similarities",
     "rank_by_cosine",
     "rank_of_target",
     "rank_pois",

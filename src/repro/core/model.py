@@ -19,8 +19,7 @@ All Table IV ablations are configuration switches
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +27,8 @@ from ..autograd import Tensor, concat, no_grad
 from ..data.trajectory import PredictionSample
 from ..graphs import QRPGraph, strip_edges
 from ..nn import Module
+from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
+from ..utils.cache import LRUCache
 from ..utils.rng import default_rng, derive
 from .config import TSPNRAConfig
 from .encoders import SpatialEncoder, TemporalEncoder
@@ -38,33 +39,21 @@ from .poi_embedding import POIEmbedder
 from .tile_embedding import ImageTileEmbedder, TableTileEmbedder
 from .two_step import (
     candidate_pois,
-    rank_of_target,
+    cosine_similarities,
     rank_pois,
     rank_tiles,
     select_tiles,
 )
 
-
-@dataclass
-class PredictionResult:
-    """Output of one inference: both ranked lists plus bookkeeping."""
-
-    ranked_tiles: List[int]
-    ranked_pois: List[int]
-    target_tile: int
-    target_poi: int
-
-    @property
-    def poi_rank(self) -> int:
-        return rank_of_target(self.ranked_pois, self.target_poi)
-
-    @property
-    def tile_rank(self) -> int:
-        return rank_of_target(self.ranked_tiles, self.target_tile)
+# The historic TSPN-RA-only result type is now the serve-wide one.
+PredictionResult = PredictorResult
 
 
-class TSPNRA(Module):
+class TSPNRA(Module, PredictorBase):
     """The full model.  Use :meth:`from_dataset` for the common path."""
+
+    name = "TSPN-RA"
+    requires_gradient_training = True
 
     def __init__(
         self,
@@ -124,8 +113,9 @@ class TSPNRA(Module):
         self._leaf_ids = list(tile_system.leaves())
         self._leaf_index = {leaf: i for i, leaf in enumerate(self._leaf_ids)}
         self._leaf_array = np.asarray(self._leaf_ids, dtype=np.int64)
-        # cache of (graph, HGAT masks) keyed by (user, trajectory index)
-        self._graph_cache: Dict[Tuple[int, int], Tuple[QRPGraph, dict]] = {}
+        # cache of (graph, HGAT masks) keyed by (user, trajectory index);
+        # unbounded by default, swappable for a bounded LRU when serving
+        self._graph_cache: LRUCache = LRUCache(maxsize=None)
         self._negative_rng = derive(rng, 17)
 
     # ------------------------------------------------------------------
@@ -165,15 +155,28 @@ class TSPNRA(Module):
 
     def _qrp_for(self, sample: PredictionSample) -> Tuple[QRPGraph, dict]:
         key = sample.history_key
-        if key not in self._graph_cache:
+        cached = self._graph_cache.get(key)
+        if cached is None:
             qrp = self.tile_system.build_graph(sample.history)
             if self.config.drop_edge_type:
                 qrp = strip_edges(qrp, self.config.drop_edge_type)
             masks = (
                 HGATEncoder.build_masks(qrp) if self.config.use_graph and not qrp.is_empty else {}
             )
-            self._graph_cache[key] = (qrp, masks)
-        return self._graph_cache[key]
+            cached = (qrp, masks)
+            self._graph_cache.put(key, cached)
+        return cached
+
+    def set_graph_cache(self, cache: LRUCache) -> bool:
+        """Adopt an external (typically LRU-bounded) QR-P graph cache.
+
+        Entries already built (e.g. during training) are migrated so
+        serving starts warm; the new cache's eviction policy applies.
+        """
+        for key, value in self._graph_cache.items():
+            cache.put(key, value)
+        self._graph_cache = cache
+        return True
 
     # ------------------------------------------------------------------
     # encoding
@@ -272,7 +275,7 @@ class TSPNRA(Module):
         tile_embeddings: Optional[Tensor] = None,
         poi_embeddings: Optional[Tensor] = None,
         k: Optional[int] = None,
-    ) -> PredictionResult:
+    ) -> PredictorResult:
         """Rank tiles then POIs for one sample (no gradients)."""
         k = k if k is not None else self.config.top_k
         with no_grad():
@@ -291,12 +294,24 @@ class TSPNRA(Module):
                 poi_embeddings.data[candidate_array] if len(candidates) else np.zeros((0, self.config.dim)),
                 candidates,
             )
-        return PredictionResult(
-            ranked_tiles=ranked_tiles,
+        target_poi = target_poi_of(sample)
+        target_tile = self.tile_system.leaf_of_poi(target_poi) if target_poi >= 0 else -1
+        return PredictorResult(
             ranked_pois=ranked_pois,
-            target_tile=self.tile_system.leaf_of_poi(sample.target.poi_id),
-            target_poi=sample.target.poi_id,
+            target_poi=target_poi,
+            ranked_tiles=ranked_tiles,
+            target_tile=target_tile,
         )
+
+    def score_candidates(
+        self, sample: PredictionSample, candidate_ids: Sequence[int], *shared
+    ) -> np.ndarray:
+        """Cosine scores of h_out_p against the given candidate POIs."""
+        with no_grad():
+            tile_embeddings, poi_embeddings = shared if shared else self.compute_embeddings()
+            _, poi_output = self.encode(sample, tile_embeddings, poi_embeddings)
+            candidate_array = np.asarray(candidate_ids, dtype=np.int64)
+            return cosine_similarities(poi_output.data, poi_embeddings.data[candidate_array])
 
     def clear_graph_cache(self) -> None:
         self._graph_cache.clear()

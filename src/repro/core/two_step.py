@@ -11,15 +11,19 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..serve.protocol import rank_of_target  # noqa: F401  (canonical home; re-exported)
+
+
+def cosine_similarities(output: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """cos(theta) between one output vector and each candidate row."""
+    out_norm = output / (np.linalg.norm(output) + 1e-12)
+    cand_norm = candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
+    return cand_norm @ out_norm
 
 
 def rank_by_cosine(output: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """Indices of ``candidates`` rows sorted by descending cosine sim."""
-    out_norm = output / (np.linalg.norm(output) + 1e-12)
-    cand_norm = candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
-    sims = cand_norm @ out_norm
-    return np.argsort(-sims, kind="stable")
+    return np.argsort(-cosine_similarities(output, candidates), kind="stable")
 
 
 def select_tiles(
@@ -63,9 +67,3 @@ def rank_pois(
     return [candidate_ids[i] for i in order]
 
 
-def rank_of_target(ranking: Sequence[int], target: int) -> int:
-    """1-based rank; ``len(ranking) + 1`` when absent (paper Eq. 1)."""
-    for position, item in enumerate(ranking, start=1):
-        if item == target:
-            return position
-    return len(ranking) + 1

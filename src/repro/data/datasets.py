@@ -163,6 +163,9 @@ class Dataset:
     quadtree: RegionQuadTree
     road_adjacency: set
     imagery: ImageryCatalog
+    # the exact build_dataset() arguments, recorded so checkpoints can
+    # rebuild an identical dataset (None for hand-assembled datasets)
+    build_args: Optional[Dict] = None
 
     @property
     def name(self) -> str:
@@ -292,4 +295,11 @@ def build_dataset(
         quadtree=quadtree,
         road_adjacency=adjacency,
         imagery=imagery,
+        build_args=dict(
+            name=name,
+            seed=seed,
+            scale=scale,
+            imagery_resolution=imagery_resolution,
+            noise_fraction=noise_fraction,
+        ),
     )

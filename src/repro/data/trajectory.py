@@ -10,7 +10,7 @@ the ground-truth next POI p_j.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .checkin import Checkin
 
@@ -83,15 +83,17 @@ class PredictionSample:
 
     ``history`` are the user's complete earlier trajectories (the input
     to QR-P graph construction); ``prefix`` is the visited part of the
-    current trajectory; ``target`` is the POI actually visited next.
-    ``history_key`` identifies (user, current-trajectory index) so QR-P
-    graphs can be cached per current trajectory.
+    current trajectory; ``target`` is the POI actually visited next —
+    ``None`` for live serving requests that carry no ground truth
+    (``repro.serve.Predictor.recommend``).  ``history_key`` identifies
+    (user, current-trajectory index) so QR-P graphs can be cached per
+    current trajectory.
     """
 
     user_id: int
     history: List[Trajectory]
     prefix: List[Visit]
-    target: Visit
+    target: Optional[Visit]
     history_key: Tuple[int, int] = field(default=(0, 0))
 
     @property

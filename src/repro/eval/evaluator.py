@@ -1,37 +1,44 @@
-"""Evaluation loop: run a model over test samples and compute metrics."""
+"""Evaluation loop: run a model over test samples and compute metrics.
+
+Every model conforms to :class:`repro.serve.protocol.PredictorProtocol`,
+so the loop is contract-driven: compute the shared state once
+(``compute_embeddings()``, ``()`` for stateless models), feed it to
+every ``predict`` call, and read ranks off the unified result type.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from ..autograd import no_grad
 from ..data.trajectory import PredictionSample
 from .metrics import DEFAULT_KS, metric_table
 
 
-def collect_ranks(model, samples: Sequence[PredictionSample]) -> List[int]:
-    """Target POI rank for every sample.
+def _collect(model, samples: Sequence[PredictionSample], rank_attr: str) -> List[int]:
+    """Shared loop: per-sample ``rank_attr`` with cached shared state.
 
-    Works for any model exposing the next-POI interface
-    (``predict(sample, ...)`` returning an object with ``poi_rank``,
-    as both TSPN-RA and all baselines do).
+    Restores the model's prior train/eval mode on exit instead of
+    unconditionally flipping it back to training.
     """
+    was_training = getattr(model, "training", False)
     model.eval()
-    ranks: List[int] = []
-    with no_grad():
-        shared = _shared_state(model)
-        for sample in samples:
-            result = model.predict(sample, *shared)
-            ranks.append(result.poi_rank)
-    model.train()
-    return ranks
+    try:
+        with no_grad():
+            shared = model.compute_embeddings()
+            return [getattr(model.predict(sample, *shared), rank_attr) for sample in samples]
+    finally:
+        model.train(was_training)
 
 
-def _shared_state(model) -> tuple:
-    """Per-evaluation precomputation (embedding tables), when supported."""
-    if hasattr(model, "compute_embeddings"):
-        return model.compute_embeddings()
-    return ()
+def collect_ranks(model, samples: Sequence[PredictionSample]) -> List[int]:
+    """Target POI rank for every sample."""
+    return _collect(model, samples, "poi_rank")
+
+
+def collect_tile_ranks(model, samples: Sequence[PredictionSample]) -> List[int]:
+    """Target *tile* rank per sample (used by the Fig. 11 analysis)."""
+    return _collect(model, samples, "tile_rank")
 
 
 def evaluate(
@@ -41,16 +48,3 @@ def evaluate(
 ) -> Dict[str, float]:
     """Metric table (Recall@K / NDCG@K / MRR) over a sample set."""
     return metric_table(collect_ranks(model, samples), ks=ks)
-
-
-def collect_tile_ranks(model, samples: Sequence[PredictionSample]) -> List[int]:
-    """Target *tile* rank per sample (used by the Fig. 11 analysis)."""
-    model.eval()
-    ranks: List[int] = []
-    with no_grad():
-        shared = _shared_state(model)
-        for sample in samples:
-            result = model.predict(sample, *shared)
-            ranks.append(result.tile_rank)
-    model.train()
-    return ranks

@@ -5,6 +5,7 @@ from .harness import (
     PreparedData,
     build_model,
     eval_model,
+    make_predictor,
     prepare,
     run_comparison,
     run_one,
@@ -38,6 +39,7 @@ __all__ = [
     "format_table",
     "get_profile",
     "improvement_row",
+    "make_predictor",
     "prepare",
     "relative_drop",
     "run",

@@ -11,13 +11,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import no_grad
 from ..core import TSPNRA, spatial_encoding
 from ..core.two_step import candidate_pois, rank_of_target
 from ..data.trajectory import PredictionSample
 from ..eval import evaluate
 from ..eval.metrics import recall_at_k
-from .harness import PreparedData, prepare, run_one, tspnra_config, train_model, build_model, eval_model
+from .harness import (
+    PreparedData,
+    build_model,
+    eval_model,
+    make_predictor,
+    prepare,
+    run_one,
+    train_model,
+    tspnra_config,
+)
 from .profile import ExperimentProfile
 
 
@@ -158,37 +166,32 @@ def run_fig11(
     num_leaves = len(model.leaf_ids)
     ks = sorted({min(2 ** p, num_leaves) for p in range(max_power + 1)})
     points: List[Fig11Point] = []
-    model.eval()
-    with no_grad():
-        shared = model.compute_embeddings()
-        # Cache per-sample tile rankings once; re-ranking POIs per K.
-        per_sample = []
-        for sample in test:
-            result = model.predict(sample, *shared, k=num_leaves)
-            per_sample.append((sample, result))
-        for k in ks:
-            tile_hits, poi_ranks, candidate_counts = [], [], []
-            for sample, full in per_sample:
-                tile_hits.append(full.tile_rank <= k)
-                top = full.ranked_tiles[:k]
-                candidates = candidate_pois(model.tile_system, top)
-                candidate_counts.append(len(candidates))
-                # re-rank the cached full POI list restricted to candidates
-                allowed = set(candidates)
-                restricted = [p for p in full.ranked_pois if p in allowed]
-                poi_ranks.append(rank_of_target(restricted, sample.target.poi_id))
-            mean_candidates = float(np.mean(candidate_counts))
-            points.append(
-                Fig11Point(
-                    k=k,
-                    tile_accuracy=float(np.mean(tile_hits)),
-                    poi_recall5=recall_at_k(poi_ranks, 5),
-                    mean_candidates=mean_candidates,
-                    tile_selection_rate=num_leaves / k,
-                    poi_selection_rate=mean_candidates / 5.0,
-                )
+    # Cache per-sample tile rankings once (shared embeddings computed a
+    # single time by the serving facade); re-rank POIs per K below.
+    predictor = make_predictor(model)
+    per_sample = list(zip(test, predictor.predict_batch(test, k=num_leaves)))
+    for k in ks:
+        tile_hits, poi_ranks, candidate_counts = [], [], []
+        for sample, full in per_sample:
+            tile_hits.append(full.tile_rank <= k)
+            top = full.ranked_tiles[:k]
+            candidates = candidate_pois(model.tile_system, top)
+            candidate_counts.append(len(candidates))
+            # re-rank the cached full POI list restricted to candidates
+            allowed = set(candidates)
+            restricted = [p for p in full.ranked_pois if p in allowed]
+            poi_ranks.append(rank_of_target(restricted, sample.target.poi_id))
+        mean_candidates = float(np.mean(candidate_counts))
+        points.append(
+            Fig11Point(
+                k=k,
+                tile_accuracy=float(np.mean(tile_hits)),
+                poi_recall5=recall_at_k(poi_ranks, 5),
+                mean_candidates=mean_candidates,
+                tile_selection_rate=num_leaves / k,
+                poi_selection_rate=mean_candidates / 5.0,
             )
-    model.train()
+        )
     return points
 
 

@@ -17,6 +17,7 @@ from ..core import TSPNRA, TSPNRAConfig
 from ..data import Dataset, build_dataset, make_samples, split_samples
 from ..data.splits import SplitSamples
 from ..eval import evaluate
+from ..serve import Predictor
 from ..train import TrainConfig, Trainer
 from ..utils.rng import spawn
 from .profile import ExperimentProfile
@@ -101,7 +102,7 @@ def build_model(
 
 def train_model(model, data: PreparedData, profile: ExperimentProfile, seed: Optional[int] = None):
     """Train with the profile's budget; dispatches on the model kind."""
-    if not getattr(model, "requires_gradient_training", True):
+    if not model.requires_gradient_training:
         model.fit(data.splits.train)
         return None
     if hasattr(model, "fit_transition_graph"):
@@ -124,6 +125,11 @@ def eval_model(model, data: PreparedData, profile: ExperimentProfile) -> Dict[st
     if profile.eval_samples is not None:
         test = test[: profile.eval_samples]
     return evaluate(model, test)
+
+
+def make_predictor(model, graph_cache_size: int = 256) -> Predictor:
+    """Wrap a trained model in the serving facade (``repro.serve``)."""
+    return Predictor(model, graph_cache_size=graph_cache_size)
 
 
 def run_one(

@@ -13,6 +13,7 @@ from ..data.stats import DatasetStats
 from ..eval import EfficiencyReport, measure
 from ..imagery import ImageryCatalog
 from ..roadnet import tile_road_adjacency
+from ..serve import Predictor
 from ..spatial import GridIndex
 from ..utils.rng import spawn
 from .harness import (
@@ -179,19 +180,8 @@ def run_table5(
             report = measure(
                 model_name,
                 train_fn=lambda m=model: train_model(m, data, profile),
-                infer_fn=lambda m=model: [m.predict(s) for s in test]
-                if not hasattr(m, "compute_embeddings")
-                else _batched_predict(m, test),
+                infer_fn=lambda m=model: Predictor(m, graph_cache_size=None).predict_batch(test),
             )
             reports.append(report)
         out[dataset_name] = reports
     return out
-
-
-def _batched_predict(model, samples) -> None:
-    from ..autograd import no_grad
-
-    with no_grad():
-        shared = model.compute_embeddings()
-        for sample in samples:
-            model.predict(sample, *shared)

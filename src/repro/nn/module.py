@@ -15,10 +15,15 @@ from ..autograd import Tensor
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as trainable by its owning module."""
+    """A tensor that is registered as trainable by its owning module.
+
+    ``version`` counts in-place weight updates (optimiser steps,
+    ``load_state_dict``); serving caches key off the module-level sum.
+    """
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+        self.version = 0
 
 
 class Module:
@@ -96,6 +101,19 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def weights_version(self) -> int:
+        """Monotonic token over all parameter updates (cache invalidation)."""
+        return sum(p.version for p in self.parameters())
+
+    def compute_embeddings(self) -> tuple:
+        """Shared per-batch state for train/inference loops.
+
+        The predictor protocol's convention: models precomputing shared
+        tables (e.g. TSPN-RA's E_T/E_P) override this; stateless models
+        inherit the empty tuple.
+        """
+        return ()
+
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
@@ -109,6 +127,15 @@ class Module:
             if p.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}")
             p.data = state[name].copy()
+            p.version += 1
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Non-parameter arrays a checkpoint must carry (override as needed)."""
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if state:
+            raise KeyError(f"unexpected extra state: {sorted(state)}")
 
 
 class Sequential(Module):

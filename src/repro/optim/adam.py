@@ -67,3 +67,4 @@ class Adam:
             m_hat = self._m[i] / correction1
             v_hat = self._v[i] / correction2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.version += 1

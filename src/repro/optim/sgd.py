@@ -32,3 +32,4 @@ class SGD:
             else:
                 update = p.grad
             p.data = p.data - self.lr * update
+            p.version += 1

@@ -1,0 +1,38 @@
+"""``repro.serve`` — the unified inference and serving subsystem.
+
+Entry points
+------------
+* :class:`PredictorResult` / :class:`PredictorProtocol` /
+  :class:`PredictorBase` — the one inference contract TSPN-RA and all
+  baselines conform to;
+* :func:`save_checkpoint` / :func:`load_checkpoint` — persist a
+  trained model (config + weights + dataset recipe) and reload it
+  without retraining;
+* :class:`Predictor` — the serving facade: cached shared embeddings,
+  LRU-bounded per-user graph cache, batched inference,
+  latency/throughput stats;
+* :func:`compare_throughput` — cached-vs-uncached serving microbench.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    LoadedCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .predictor import Predictor, ServeStats, compare_throughput
+from .protocol import PredictorBase, PredictorProtocol, PredictorResult, rank_of_target
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "LoadedCheckpoint",
+    "Predictor",
+    "PredictorBase",
+    "PredictorProtocol",
+    "PredictorResult",
+    "ServeStats",
+    "compare_throughput",
+    "load_checkpoint",
+    "rank_of_target",
+    "save_checkpoint",
+]

@@ -1,0 +1,125 @@
+"""Model persistence: config + weights + dataset recipe in one file.
+
+A checkpoint is a compressed ``.npz`` holding
+
+* ``__meta__`` — JSON: format version, model name, model config and
+  the dataset build recipe (the ``build_dataset`` keyword arguments);
+* ``param::<name>`` — every entry of ``model.state_dict()``;
+* ``extra::<name>`` — non-parameter arrays the model needs at
+  inference time (``model.extra_state()``, e.g. Graph-Flashback's
+  fitted transition matrix or MC's count tables).
+
+``load_checkpoint`` rebuilds the dataset from the recipe (or reuses a
+caller-provided one), reconstructs the model through the same factory
+paths the experiment harness uses, and restores the weights — so a
+trained model round-trips with bit-identical evaluation metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+CHECKPOINT_FORMAT = 1
+_PARAM = "param::"
+_EXTRA = "extra::"
+
+
+@dataclass
+class LoadedCheckpoint:
+    """What ``load_checkpoint`` returns: the restored model plus context."""
+
+    model: Any
+    dataset: Any
+    meta: Dict[str, Any]
+
+
+def _model_meta(model) -> Dict[str, Any]:
+    from ..baselines import BASELINE_NAMES
+    from ..core.model import TSPNRA
+
+    if isinstance(model, TSPNRA):
+        return {"model_name": model.name, "model_config": asdict(model.config)}
+    if model.name not in BASELINE_NAMES:
+        # fail at save time, not with a silently unloadable file
+        raise ValueError(
+            f"cannot checkpoint {type(model).__name__} (name={model.name!r}): "
+            "load_checkpoint reconstructs models via make_baseline, so the "
+            "name must be registered in repro.baselines.BASELINE_NAMES"
+        )
+    if not model.requires_gradient_training:  # count-based models (MC)
+        return {"model_name": model.name, "model_config": {"smoothing": model.smoothing}}
+    return {"model_name": model.name, "model_config": {"dim": model.dim}}
+
+
+def save_checkpoint(model, path, dataset=None) -> Path:
+    """Serialise ``model`` (and the dataset recipe, if given) to ``path``.
+
+    Passing ``dataset`` records its build arguments so the checkpoint
+    is self-contained; without it, ``load_checkpoint`` requires the
+    caller to supply a compatible dataset.
+    """
+    meta: Dict[str, Any] = {"format": CHECKPOINT_FORMAT, "num_pois": model.num_pois}
+    meta.update(_model_meta(model))
+    if dataset is not None:
+        if dataset.build_args is None:
+            raise ValueError("dataset has no build recipe; construct it via build_dataset()")
+        meta["dataset"] = dataset.build_args
+    arrays = {_PARAM + name: value for name, value in model.state_dict().items()}
+    arrays.update({_EXTRA + name: value for name, value in model.extra_state().items()})
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, __meta__=np.array(json.dumps(meta)), **arrays)
+    return path
+
+
+def load_checkpoint(path, dataset=None, rng=None) -> LoadedCheckpoint:
+    """Restore a model saved by :func:`save_checkpoint`.
+
+    ``dataset`` skips the rebuild when the caller already holds the
+    (identical) dataset the model was trained on.
+    """
+    from ..baselines import make_baseline
+    from ..baselines.markov import MarkovChain
+    from ..core.config import TSPNRAConfig
+    from ..core.model import TSPNRA
+    from ..data import build_dataset
+
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(data["__meta__"].item())
+        params = {k[len(_PARAM):]: data[k] for k in data.files if k.startswith(_PARAM)}
+        extra = {k[len(_EXTRA):]: data[k] for k in data.files if k.startswith(_EXTRA)}
+
+    if meta.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"unsupported checkpoint format: {meta.get('format')!r}")
+    if dataset is None:
+        recipe = meta.get("dataset")
+        if recipe is None:
+            raise ValueError("checkpoint carries no dataset recipe; pass dataset=")
+        dataset = build_dataset(**recipe)
+    num_pois = len(dataset.city.pois)
+    if num_pois != meta["num_pois"]:
+        raise ValueError(
+            f"dataset has {num_pois} POIs but the checkpoint was trained on {meta['num_pois']}"
+        )
+
+    name = meta["model_name"]
+    config = meta["model_config"]
+    if name == TSPNRA.name:
+        model = TSPNRA.from_dataset(dataset, TSPNRAConfig(**config), rng=rng)
+    elif name == MarkovChain.name:
+        model = MarkovChain(num_pois, **config)
+    else:
+        locations = np.array(
+            [dataset.spec.bbox.normalize(x, y) for x, y in dataset.city.pois.xy]
+        )
+        model = make_baseline(name, num_pois, locations, dim=config["dim"], rng=rng)
+    model.load_state_dict(params)
+    model.load_extra_state(extra)
+    model.eval()
+    return LoadedCheckpoint(model=model, dataset=dataset, meta=meta)

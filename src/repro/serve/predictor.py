@@ -1,0 +1,192 @@
+"""Serving facade: cached shared state, batched inference, stats.
+
+:class:`Predictor` wraps any :class:`~repro.serve.protocol.PredictorProtocol`
+model as a long-lived recommendation service:
+
+* shared embedding tables are computed once and reused across requests,
+  invalidated automatically when the model's ``weights_version`` moves
+  (optimiser steps and ``load_state_dict`` both bump it);
+* per-user QR-P graphs are bounded by an LRU cache instead of the
+  model's default unbounded dict;
+* every request batch is timed, so latency/throughput roll up in
+  :class:`ServeStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..autograd import no_grad
+from ..data.trajectory import PredictionSample, Trajectory, Visit
+from ..utils.cache import LRUCache
+from .checkpoint import load_checkpoint
+from .protocol import PredictorResult
+
+
+@dataclass
+class ServeStats:
+    """Rolling counters for one predictor instance."""
+
+    requests: int = 0
+    batches: int = 0
+    total_seconds: float = 0.0
+    embedding_refreshes: int = 0
+    embedding_cache_hits: int = 0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return 1000.0 * self.total_seconds / self.requests if self.requests else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Requests served per second of inference time."""
+        return self.requests / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = dict(asdict(self))
+        out["mean_latency_ms"] = self.mean_latency_ms
+        out["throughput"] = self.throughput
+        return out
+
+
+class Predictor:
+    """A trained model, served.
+
+    Unless ``graph_cache_size=None``, the model's per-user graph cache
+    is replaced by an LRU of that size (warm entries migrated) — a
+    deliberate, lasting adoption for long-lived serving; pass ``None``
+    for throwaway measurement facades.
+    """
+
+    def __init__(self, model, graph_cache_size: Optional[int] = 256):
+        self.model = model
+        self.dataset = None  # set by from_checkpoint
+        self.stats = ServeStats()
+        self._shared: Optional[Tuple[Any, ...]] = None
+        self._shared_version: Optional[int] = None
+        self.graph_cache: Optional[LRUCache] = None
+        if graph_cache_size is not None:
+            cache = LRUCache(graph_cache_size)
+            if model.set_graph_cache(cache):
+                self.graph_cache = cache
+
+    @classmethod
+    def from_checkpoint(cls, path, dataset=None, **kwargs) -> "Predictor":
+        """Serve a checkpoint without retraining."""
+        loaded = load_checkpoint(path, dataset=dataset)
+        predictor = cls(loaded.model, **kwargs)
+        predictor.dataset = loaded.dataset
+        return predictor
+
+    # ------------------------------------------------------------------
+    # shared-state cache
+    # ------------------------------------------------------------------
+    def shared_state(self) -> Tuple[Any, ...]:
+        """Cached ``compute_embeddings()``, refreshed on weight updates."""
+        version = self.model.weights_version()
+        if self._shared is None or version != self._shared_version:
+            self._shared = self.model.compute_embeddings()
+            self._shared_version = version
+            self.stats.embedding_refreshes += 1
+        else:
+            self.stats.embedding_cache_hits += 1
+        return self._shared
+
+    def invalidate(self) -> None:
+        """Drop cached shared state (forced refresh on the next request)."""
+        self._shared = None
+        self._shared_version = None
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def predict(self, sample: PredictionSample, k: Optional[int] = None) -> PredictorResult:
+        return self.predict_batch([sample], k=k)[0]
+
+    def predict_batch(
+        self, samples: Sequence[PredictionSample], k: Optional[int] = None
+    ) -> List[PredictorResult]:
+        """Serve a batch, reusing the cached shared embeddings.
+
+        The model runs in eval mode for the batch and its prior
+        train/eval mode is restored afterwards, so a mid-training
+        evaluation hook can wrap the live model safely.
+        """
+        start = time.perf_counter()
+        was_training = getattr(self.model, "training", False)
+        self.model.eval()
+        try:
+            with no_grad():
+                shared = self.shared_state()
+                results = [self.model.predict(sample, *shared, k=k) for sample in samples]
+        finally:
+            self.model.train(was_training)
+        self.stats.total_seconds += time.perf_counter() - start
+        self.stats.requests += len(results)
+        self.stats.batches += 1
+        return results
+
+    def target_rank(self, sample: PredictionSample) -> int:
+        return self.predict(sample).poi_rank
+
+    def recommend(
+        self,
+        visits: Sequence[Visit],
+        history: Sequence[Trajectory] = (),
+        user_id: int = -1,
+        k: int = 10,
+    ) -> List[int]:
+        """Top-k next-POI recommendations for a live user history.
+
+        ``visits`` is the in-progress trajectory; ``history`` the user's
+        earlier trajectories (feeds QR-P graph construction).  There is
+        no ground-truth target, so the sample is built with
+        ``target=None``.
+        """
+        visits = list(visits)
+        if not visits:
+            raise ValueError("recommend() needs at least one visit")
+        history = list(history)
+        # key by history content so equal requests share one cached graph
+        key = (user_id, hash(tuple(v.poi_id for t in history for v in t.visits)))
+        sample = PredictionSample(
+            user_id=user_id, history=history, prefix=visits, target=None, history_key=key
+        )
+        return self.predict(sample).top_k(k)
+
+
+def compare_throughput(model, samples: Sequence[PredictionSample], repeats: int = 1) -> Dict[str, float]:
+    """Samples/sec served with vs without the shared-embedding cache.
+
+    The uncached loop recomputes ``compute_embeddings()`` per request —
+    exactly what the pre-serve research loop did when callers used bare
+    ``model.predict(sample)``.
+    """
+    samples = list(samples)
+    model.eval()
+    start = time.perf_counter()
+    with no_grad():
+        for _ in range(repeats):
+            for sample in samples:
+                model.predict(sample, *model.compute_embeddings())
+    uncached_seconds = time.perf_counter() - start
+
+    # graph_cache_size=None: a measurement facade must not swap the
+    # caller's model cache out from under it
+    predictor = Predictor(model, graph_cache_size=None)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        predictor.predict_batch(samples)
+    cached_seconds = time.perf_counter() - start
+
+    count = len(samples) * repeats
+    return {
+        "samples": float(count),
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "uncached_sps": count / uncached_seconds if uncached_seconds > 0 else float("inf"),
+        "cached_sps": count / cached_seconds if cached_seconds > 0 else float("inf"),
+        "speedup": uncached_seconds / cached_seconds if cached_seconds > 0 else float("inf"),
+    }

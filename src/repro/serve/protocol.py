@@ -1,0 +1,143 @@
+"""The unified inference contract every next-POI model implements.
+
+Historically TSPN-RA and the ten baselines exposed two divergent
+inference surfaces (``PredictionResult`` vs ``BaselineResult``) that
+the evaluator papered over with ``hasattr`` probes.  This module
+collapses them into one contract:
+
+* one result type, :class:`PredictorResult` (tile fields optional for
+  models without a tile-selection step);
+* one protocol, :class:`PredictorProtocol` — score candidates, ranked
+  top-k, rank-of-target, plus the shared-state convention
+  (``compute_embeddings``) that stateless models satisfy trivially by
+  returning ``()``;
+* one mixin, :class:`PredictorBase`, deriving the convenience methods
+  from ``predict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+
+def rank_of_target(ranking: Sequence[int], target: int) -> int:
+    """1-based rank; ``len(ranking) + 1`` when absent (paper Eq. 1)."""
+    for position, item in enumerate(ranking, start=1):
+        if item == target:
+            return position
+    return len(ranking) + 1
+
+
+def target_poi_of(sample) -> int:
+    """Ground-truth POI id, or ``-1`` for target-less serving samples."""
+    return sample.target.poi_id if sample.target is not None else -1
+
+
+@dataclass
+class PredictorResult:
+    """Output of one inference for any conforming model.
+
+    ``ranked_tiles``/``target_tile`` are ``None`` for models without a
+    tile-selection step (all baselines).  ``target_poi`` is ``-1`` for
+    live serving requests carrying no ground truth.
+    """
+
+    ranked_pois: List[int]
+    target_poi: int
+    ranked_tiles: Optional[List[int]] = None
+    target_tile: Optional[int] = None
+
+    @property
+    def poi_rank(self) -> int:
+        return rank_of_target(self.ranked_pois, self.target_poi)
+
+    @property
+    def tile_rank(self) -> int:
+        if self.ranked_tiles is None or self.target_tile is None:
+            raise ValueError("this model does not rank tiles")
+        return rank_of_target(self.ranked_tiles, self.target_tile)
+
+    def top_k(self, k: int) -> List[int]:
+        return self.ranked_pois[:k]
+
+
+@runtime_checkable
+class PredictorProtocol(Protocol):
+    """What the evaluator, harness and serving facade rely on."""
+
+    def compute_embeddings(self) -> Tuple[Any, ...]:
+        """Shared per-batch state, passed back into ``predict``."""
+        ...
+
+    def weights_version(self) -> int:
+        """Monotonic counter bumped on weight updates (cache token)."""
+        ...
+
+    def predict(self, sample, *shared, k: Optional[int] = None) -> PredictorResult:
+        ...
+
+    def score_candidates(self, sample, candidate_ids, *shared) -> np.ndarray:
+        ...
+
+    def top_k(self, sample, k: int, *shared) -> List[int]:
+        ...
+
+    def target_rank(self, sample, *shared) -> int:
+        ...
+
+    def set_graph_cache(self, cache) -> bool:
+        ...
+
+
+class PredictorBase:
+    """Default implementations of the derived protocol methods.
+
+    Subclasses implement ``predict`` and ``score_candidates``; models
+    with shared state override ``compute_embeddings`` (and, when they
+    hold trainable weights outside :class:`repro.nn.Module`, the
+    persistence hooks).
+    """
+
+    def compute_embeddings(self) -> Tuple[Any, ...]:
+        return ()
+
+    def weights_version(self) -> int:
+        return 0
+
+    def predict(self, sample, *shared, k: Optional[int] = None) -> PredictorResult:
+        raise NotImplementedError
+
+    def score_candidates(self, sample, candidate_ids, *shared) -> np.ndarray:
+        raise NotImplementedError
+
+    def top_k(self, sample, k: int, *shared) -> List[int]:
+        return self.predict(sample, *shared).top_k(k)
+
+    def target_rank(self, sample, *shared) -> int:
+        return self.predict(sample, *shared).poi_rank
+
+    def set_graph_cache(self, cache) -> bool:
+        """Adopt an external per-user graph cache; most models have none."""
+        return False
+
+    # ------------------------------------------------------------------
+    # persistence hooks (checkpoint side-state beyond parameters)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if state:
+            raise KeyError(f"unexpected extra state: {sorted(state)}")

@@ -2,7 +2,8 @@
 
 Implements the paper's protocol: Adam with exponentially decayed
 learning rate, mini-batches of samples, loss summed per batch.  Any
-model exposing ``compute_embeddings()`` (optional) and
+model conforming to the predictor protocol's shared-state convention
+(``compute_embeddings()``, ``()`` for stateless models) and exposing
 ``loss_sample(sample, *shared)`` can be trained.
 """
 
@@ -95,11 +96,7 @@ class Trainer:
 
     def _train_batch(self, batch: Sequence[PredictionSample]) -> float:
         self.optimizer.zero_grad()
-        shared = (
-            self.model.compute_embeddings()
-            if hasattr(self.model, "compute_embeddings")
-            else ()
-        )
+        shared = self.model.compute_embeddings()
         total = None
         for sample in batch:
             loss = self.model.loss_sample(sample, *shared)

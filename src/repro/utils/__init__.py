@@ -1,9 +1,11 @@
-"""Shared utilities: seeded RNG management and measurement probes."""
+"""Shared utilities: seeded RNG management, caching, measurement probes."""
 
+from .cache import LRUCache
 from .rng import default_rng, derive, set_seed, spawn
 from .timer import Ledger, Stopwatch, TimerResult
 
 __all__ = [
+    "LRUCache",
     "Ledger",
     "Stopwatch",
     "TimerResult",

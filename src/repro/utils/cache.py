@@ -1,0 +1,48 @@
+"""A small LRU cache used to bound per-user serving state."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class LRUCache:
+    """Least-recently-used map; ``maxsize=None`` means unbounded.
+
+    Tracks hit/miss counters so serving code can report cache health.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def items(self):
+        """(key, value) pairs, least- to most-recently used."""
+        return list(self._data.items())
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

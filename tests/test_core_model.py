@@ -127,6 +127,7 @@ class TestTraining:
         history = trainer.fit(splits.train)
         assert history.improved(), f"loss did not improve: {history.epoch_losses}"
 
+    @pytest.mark.slow
     def test_trained_model_beats_random_ranker(self, tiny):
         dataset, splits = tiny
         model = TSPNRA.from_dataset(dataset, TSPNRAConfig(**CFG), rng=spawn(9))
