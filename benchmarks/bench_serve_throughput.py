@@ -1,14 +1,24 @@
-"""Serving throughput — cached vs uncached shared-embedding inference.
+"""Serving throughput and latency percentiles — the BENCH_serve harness.
 
-Seeds the BENCH trajectory for the ``repro.serve`` subsystem: measures
-samples/sec when the :class:`~repro.serve.Predictor` facade reuses its
-cached embedding tables versus the legacy research loop that recomputed
-``compute_embeddings()`` on every ``predict`` call.
+Seeds the BENCH trajectory for the ``repro.serve`` subsystem.  Three
+legs, slowest to fastest:
 
-Expected shape: the cached path wins by roughly the ratio of
-embedding-table cost to per-sample encode cost; the gap widens with
-imagery resolution and POI count.
+* **uncached** — the legacy research loop (``compute_embeddings()``
+  recomputed per request);
+* **cached** — shared embeddings computed once, per-sample ``predict``
+  loop (the pre-vectorisation ``Predictor`` behaviour);
+* **batched** — the vectorised ``predict_batch`` path: padded-and-
+  masked batch encode plus single-matmul tile/POI ranking, measured
+  per batch so p50/p95/p99 latencies are meaningful.
+
+Alongside the human-readable table the run emits
+``benchmarks/results/BENCH_serve.json`` — the machine-readable BENCH
+trajectory point (samples/sec per leg, batched-vs-per-sample speedup,
+latency percentiles).
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +26,9 @@ from repro.experiments import format_table, prepare, run_one
 from repro.serve import compare_throughput
 
 pytestmark = pytest.mark.slow
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BATCH_SIZE = 16
 
 
 def bench_serve_throughput(benchmark, profile, save_report):
@@ -25,7 +38,11 @@ def bench_serve_throughput(benchmark, profile, save_report):
     test = data.splits.test[:80]
 
     report = benchmark.pedantic(
-        compare_throughput, args=(model, test), rounds=1, iterations=1
+        compare_throughput,
+        args=(model, test),
+        kwargs={"batch_size": BATCH_SIZE},
+        rounds=1,
+        iterations=1,
     )
 
     rows = [[key, f"{value:10.2f}"] for key, value in report.items()]
@@ -34,7 +51,20 @@ def bench_serve_throughput(benchmark, profile, save_report):
         format_table(
             ["Metric", "Value"],
             rows,
-            title="Serving throughput — cached vs uncached (NYC)",
+            title="Serving throughput — uncached vs cached vs batched (NYC)",
         ),
     )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trajectory_point = {
+        "bench": "serve",
+        "dataset": "nyc",
+        "batch_size": BATCH_SIZE,
+        **{key: round(value, 4) for key, value in report.items()},
+    }
+    out = RESULTS_DIR / "BENCH_serve.json"
+    out.write_text(json.dumps(trajectory_point, indent=2) + "\n")
+    print(f"[BENCH trajectory point saved to {out}]")
+
     assert report["speedup"] > 1.0, report
+    assert report["batched_speedup"] > 1.0, report

@@ -60,7 +60,17 @@ def main() -> None:
             f"  poi {poi.poi_id:4d}  ({poi.x:6.2f}, {poi.y:6.2f})  "
             f"{pois.category_names[poi.category]}{marker}"
         )
-    print(f"actual next POI ranked #{result.poi_rank} of {len(result.ranked_pois)} candidates")
+    if result.target_poi in result.ranked_pois:
+        print(
+            f"actual next POI ranked #{result.poi_rank} "
+            f"of {len(result.ranked_pois)} candidates"
+        )
+    else:
+        # outside the top-K tiles: ranks past the whole POI universe
+        print(
+            f"actual next POI missed the {len(result.ranked_pois)}-candidate set "
+            f"(rank {result.poi_rank} = num_pois + 1)"
+        )
 
 
 if __name__ == "__main__":

@@ -10,9 +10,13 @@ All baselines conform to the serve-wide
 :class:`~repro.serve.protocol.PredictorProtocol`:
 
 * ``score(sample) -> Tensor``: logits over the full POI vocabulary;
+* ``score_batch(samples) -> ndarray``: ``(batch, num_pois)`` logits —
+  the default loops ``score``; sequential baselines with a batchable
+  trunk override it on top of ``SequenceEmbedder.forward_batch``;
 * ``loss_sample(sample)``: cross-entropy against the true next POI;
-* ``predict(sample, *shared) -> PredictorResult``: full ranked POI
-  list (shared state is empty for baselines and ignored);
+* ``predict(sample, *shared) -> PredictorResult`` /
+  ``predict_batch(samples, *shared)``: full ranked POI list(s)
+  (shared state is empty for baselines and ignored);
 * ``score_candidates(sample, ids, *shared)``: logits restricted to a
   candidate set.
 
@@ -23,7 +27,7 @@ gradient training; the experiment harness dispatches on
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +57,15 @@ class NextPOIBaseline(Module, PredictorBase):
     def score(self, sample: PredictionSample) -> Tensor:
         raise NotImplementedError
 
+    def score_batch(self, samples: Sequence[PredictionSample]) -> np.ndarray:
+        """Logits over the full vocabulary per sample: ``(batch, num_pois)``.
+
+        The fallback stacks per-sample ``score`` calls; baselines whose
+        trunk vectorises (GRU) override this with a true batched pass.
+        Overrides must reproduce the per-sample logits row for row.
+        """
+        return np.stack([self.score(sample).data for sample in samples])
+
     def loss_sample(self, sample: PredictionSample) -> Tensor:
         logits = self.score(sample)
         return cross_entropy(logits.reshape(1, -1), np.array([sample.target.poi_id]))
@@ -64,8 +77,28 @@ class NextPOIBaseline(Module, PredictorBase):
             logits = self.score(sample).data
         order = np.argsort(-logits, kind="stable")
         return PredictorResult(
-            ranked_pois=[int(i) for i in order], target_poi=target_poi_of(sample)
+            ranked_pois=[int(i) for i in order],
+            target_poi=target_poi_of(sample),
+            num_pois=self.num_pois,
         )
+
+    def predict_batch(
+        self, samples: Sequence[PredictionSample], *shared, k: Optional[int] = None
+    ) -> List[PredictorResult]:
+        """One ``score_batch`` pass, one row-wise stable argsort."""
+        if not samples:
+            return []
+        with no_grad():
+            logits = self.score_batch(samples)
+        orders = np.argsort(-logits, axis=1, kind="stable")
+        return [
+            PredictorResult(
+                ranked_pois=[int(i) for i in order],
+                target_poi=target_poi_of(sample),
+                num_pois=self.num_pois,
+            )
+            for order, sample in zip(orders, samples)
+        ]
 
     def score_candidates(
         self, sample: PredictionSample, candidate_ids: Sequence[int], *shared
@@ -101,3 +134,48 @@ class SequenceEmbedder(Module):
             slots = np.array([self._slot_fn(v.timestamp) for v in visits], dtype=np.int64)
             out = out + self.time_table(slots)
         return out
+
+    def forward_batch(
+        self, samples: Sequence[PredictionSample]
+    ) -> Tuple[Tensor, np.ndarray]:
+        """Right-padded batch embedding: ``((batch, L_max, dim), lengths)``.
+
+        Padded slots embed POI/slot 0; they sit past each sample's real
+        length, so batched consumers that respect ``lengths`` (RNN
+        last-state gather, causal attention) never read them.
+        """
+        lengths = np.asarray([len(s.prefix) for s in samples], dtype=np.int64)
+        l_max = int(lengths.max())
+        ids = np.zeros((len(samples), l_max), dtype=np.int64)
+        slots = np.zeros((len(samples), l_max), dtype=np.int64)
+        for i, sample in enumerate(samples):
+            ids[i, : lengths[i]] = [v.poi_id for v in sample.prefix]
+            if self.use_time:
+                slots[i, : lengths[i]] = [
+                    self._slot_fn(v.timestamp) for v in sample.prefix
+                ]
+        out = self.poi_table(ids)
+        if self.use_time:
+            out = out + self.time_table(slots)
+        return out, lengths
+
+
+def last_hidden_batch(
+    embedder: SequenceEmbedder, rnn, samples: Sequence[PredictionSample]
+) -> Tensor:
+    """Batched RNN trunk: each sample's hidden state at its real last step.
+
+    Runs one padded batch through ``rnn`` and gathers the output at
+    ``lengths - 1`` per sample — exact because the RNN is causal:
+    hidden states keep evolving through padded steps for shorter
+    samples, but the gathered position was computed from real inputs
+    only.  The gather detaches from the autograd graph, so this is an
+    inference-only path (``score_batch``/``predict_batch``).
+    """
+    sequence, lengths = embedder.forward_batch(samples)
+    if lengths.min() < 1:
+        # per-sample scoring fails loudly on an empty prefix; a -1
+        # gather here would silently rank from pad-token hidden states
+        raise ValueError("last_hidden_batch needs non-empty prefixes")
+    outputs, _ = rnn(sequence)  # (B, L_max, hidden)
+    return Tensor(outputs.data[np.arange(len(samples)), lengths - 1])

@@ -2,15 +2,22 @@
 
 Plain gated recurrent network over the prefix sequence; the final
 hidden state scores the full POI vocabulary through a linear head.
+The trunk is purely sequential, so ``score_batch`` runs one padded
+batch through the batch-aware GRU and gathers each sample's hidden
+state at its true last step — identical logits, one pass.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
 
 from ..autograd import Tensor
 from ..data.trajectory import PredictionSample
 from ..nn import GRU, Linear
 from ..utils.rng import default_rng
-from .base import NextPOIBaseline, SequenceEmbedder
+from .base import NextPOIBaseline, SequenceEmbedder, last_hidden_batch
 
 
 class GRUBaseline(NextPOIBaseline):
@@ -27,3 +34,7 @@ class GRUBaseline(NextPOIBaseline):
         sequence = self.embedder(sample)
         _, hidden = self.rnn(sequence)
         return self.head(hidden)
+
+    def score_batch(self, samples: Sequence[PredictionSample]) -> np.ndarray:
+        """Vectorised scoring: padded batch through one GRU unroll."""
+        return self.head(last_hidden_batch(self.embedder, self.rnn, samples)).data

@@ -21,7 +21,7 @@ from ..geo import BoundingBox
 from ..nn import GRU, Linear
 from ..utils.rng import default_rng
 from ..serve.protocol import target_poi_of
-from .base import BaselineResult, NextPOIBaseline, SequenceEmbedder
+from .base import BaselineResult, NextPOIBaseline, SequenceEmbedder, last_hidden_batch
 
 
 class HMTGRN(NextPOIBaseline):
@@ -88,13 +88,13 @@ class HMTGRN(NextPOIBaseline):
         )
         return loss
 
-    def predict(self, sample: PredictionSample, *shared, k=None) -> BaselineResult:
-        """Hierarchical Beam Search: coarse -> fine -> POIs."""
-        with no_grad():
-            hidden = self._trunk(sample)
-            poi_logits = self.poi_head(hidden).data
-            coarse_logits = self.coarse_head(hidden).data
-            fine_logits = self.fine_head(hidden).data
+    def _beam_rank(
+        self,
+        poi_logits: np.ndarray,
+        coarse_logits: np.ndarray,
+        fine_logits: np.ndarray,
+    ) -> List[int]:
+        """The Hierarchical Beam Search ranking for one logit triple."""
         top_coarse = np.argsort(-coarse_logits, kind="stable")[: self.beam_width]
         fine_candidates: List[int] = []
         for cell in top_coarse:
@@ -104,7 +104,43 @@ class HMTGRN(NextPOIBaseline):
         in_beam = np.isin(self.fine_of_poi, list(kept_fine))
         # POIs in the beam first (by logit), then the rest (by logit):
         biased = poi_logits + np.where(in_beam, 1e6, 0.0)
-        order = np.argsort(-biased, kind="stable")
+        return [int(i) for i in np.argsort(-biased, kind="stable")]
+
+    def predict(self, sample: PredictionSample, *shared, k=None) -> BaselineResult:
+        """Hierarchical Beam Search: coarse -> fine -> POIs."""
+        with no_grad():
+            hidden = self._trunk(sample)
+            poi_logits = self.poi_head(hidden).data
+            coarse_logits = self.coarse_head(hidden).data
+            fine_logits = self.fine_head(hidden).data
         return BaselineResult(
-            ranked_pois=[int(i) for i in order], target_poi=target_poi_of(sample)
+            ranked_pois=self._beam_rank(poi_logits, coarse_logits, fine_logits),
+            target_poi=target_poi_of(sample),
+            num_pois=self.num_pois,
         )
+
+    def predict_batch(
+        self, samples: Sequence[PredictionSample], *shared, k=None
+    ) -> List[BaselineResult]:
+        """Batched trunk + heads; the (cheap) beam stays per sample.
+
+        The inherited ``score_batch`` ranking would drop the beam bias,
+        so this override runs one padded GRU pass and three batched
+        head matmuls, then replays the exact per-sample beam on each
+        logit row.
+        """
+        if not samples:
+            return []
+        with no_grad():
+            hidden = last_hidden_batch(self.embedder, self.rnn, samples)
+            poi_logits = self.poi_head(hidden).data
+            coarse_logits = self.coarse_head(hidden).data
+            fine_logits = self.fine_head(hidden).data
+        return [
+            BaselineResult(
+                ranked_pois=self._beam_rank(poi_logits[i], coarse_logits[i], fine_logits[i]),
+                target_poi=target_poi_of(sample),
+                num_pois=self.num_pois,
+            )
+            for i, sample in enumerate(samples)
+        ]

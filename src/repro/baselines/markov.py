@@ -7,7 +7,7 @@ to global popularity for unseen source POIs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,23 +41,53 @@ class MarkovChain(PredictorBase):
         self._version += 1
         return self
 
-    def scores(self, sample: PredictionSample) -> np.ndarray:
+    def scores_batch(self, last_poi_ids: Sequence[int]) -> np.ndarray:
+        """Score rows for a batch of current POIs: ``(batch, num_pois)``.
+
+        One gather over the transition matrix; unseen source POIs (an
+        all-zero count row) back off to global popularity, seen ones
+        get the normalised row plus smoothed popularity.
+        """
         if not self._fitted:
             raise RuntimeError("MarkovChain.fit() must run before prediction")
-        current = sample.prefix[-1].poi_id
-        row = self.transitions[current]
+        rows = self.transitions[np.asarray(last_poi_ids, dtype=np.int64)]
+        row_sums = rows.sum(axis=1, keepdims=True)
         pop = self.popularity / max(self.popularity.sum(), 1.0)
-        if row.sum() == 0:
-            return pop
-        return row / row.sum() + self.smoothing * pop
+        return np.where(
+            row_sums == 0,
+            pop[None, :],
+            rows / np.where(row_sums == 0, 1.0, row_sums) + self.smoothing * pop[None, :],
+        )
+
+    def scores(self, sample: PredictionSample) -> np.ndarray:
+        return self.scores_batch([sample.prefix[-1].poi_id])[0]
 
     def predict(
         self, sample: PredictionSample, *shared, k: Optional[int] = None
     ) -> PredictorResult:
         order = np.argsort(-self.scores(sample), kind="stable")
         return PredictorResult(
-            ranked_pois=[int(i) for i in order], target_poi=target_poi_of(sample)
+            ranked_pois=[int(i) for i in order],
+            target_poi=target_poi_of(sample),
+            num_pois=self.num_pois,
         )
+
+    def predict_batch(
+        self, samples: Sequence[PredictionSample], *shared, k: Optional[int] = None
+    ) -> List[PredictorResult]:
+        """Vectorised: one row gather + one batched argsort."""
+        if not samples:
+            return []
+        scored = self.scores_batch([s.prefix[-1].poi_id for s in samples])
+        orders = np.argsort(-scored, axis=1, kind="stable")
+        return [
+            PredictorResult(
+                ranked_pois=[int(i) for i in order],
+                target_poi=target_poi_of(sample),
+                num_pois=self.num_pois,
+            )
+            for order, sample in zip(orders, samples)
+        ]
 
     def score_candidates(
         self, sample: PredictionSample, candidate_ids: Sequence[int], *shared

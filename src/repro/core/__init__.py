@@ -12,10 +12,13 @@ from .tilesystem import GridTileSystem, QuadTreeTileSystem
 from .two_step import (
     candidate_pois,
     cosine_similarities,
+    cosine_similarities_batch,
     rank_by_cosine,
     rank_of_target,
     rank_pois,
+    rank_pois_batch,
     rank_tiles,
+    rank_tiles_batch,
     select_tiles,
 )
 
@@ -39,10 +42,13 @@ __all__ = [
     "combined_loss",
     "cosine_scores",
     "cosine_similarities",
+    "cosine_similarities_batch",
     "rank_by_cosine",
     "rank_of_target",
     "rank_pois",
+    "rank_pois_batch",
     "rank_tiles",
+    "rank_tiles_batch",
     "select_tiles",
     "spatial_encoding",
 ]

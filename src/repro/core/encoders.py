@@ -22,31 +22,37 @@ from ..utils.rng import default_rng
 def spatial_encoding(
     locations: np.ndarray, dim: int, scale: float = 100.0
 ) -> np.ndarray:
-    """Eq. 4 sinusoidal code for ``(n, 2)`` unit-square locations.
+    """Eq. 4 sinusoidal code for ``(..., 2)`` unit-square locations.
 
     ``scale`` stretches the unit square before encoding so the highest
     sinusoid frequency actually varies across a city block; without it
     sin(x) with x in [0, 1] is nearly linear and all codes collapse
     together (the paper feeds raw projected coordinates, which span a
     comparable numeric range).
+
+    Any leading shape is accepted — ``(n, 2)`` per-sample sequences and
+    ``(batch, length, 2)`` padded batches encode identically row by
+    row; the output is ``locations.shape[:-1] + (dim,)``.
     """
     if dim % 4 != 0:
         raise ValueError("dim must be divisible by 4")
     locations = np.asarray(locations, dtype=np.float64)
     if locations.ndim == 1:
         locations = locations[None, :]
-    n = len(locations)
+    lead = locations.shape[:-1]
+    flat = locations.reshape(-1, 2)
+    n = len(flat)
     out = np.zeros((n, dim), dtype=np.float64)
     quarter = dim // 4
-    xs = locations[:, 0] * scale
-    ys = locations[:, 1] * scale
+    xs = flat[:, 0] * scale
+    ys = flat[:, 1] * scale
     i = np.arange(quarter)
     div = 10000.0 ** (2.0 * i / dim)  # (quarter,)
     out[:, 0:dim // 2:2] = np.sin(xs[:, None] / div)
     out[:, 1:dim // 2:2] = np.cos(xs[:, None] / div)
     out[:, dim // 2::2] = np.sin(ys[:, None] / div)
     out[:, dim // 2 + 1::2] = np.cos(ys[:, None] / div)
-    return out
+    return out.reshape(lead + (dim,))
 
 
 class SpatialEncoder(Module):
@@ -63,12 +69,20 @@ class SpatialEncoder(Module):
 
 
 class TemporalEncoder(Module):
-    """Adds a learnable 48-slot time-of-day embedding: h = h_s + h_t."""
+    """Adds a learnable 48-slot time-of-day embedding: h = h_s + h_t.
+
+    ``timestamps`` may be a flat sequence (one trajectory) or a padded
+    ``(batch, length)`` array — the slot lookup is elementwise either
+    way, so batched and per-sample paths see identical embeddings.
+    """
 
     def __init__(self, dim: int, rng=None):
         super().__init__()
         self.slots = Embedding(SLOTS_PER_DAY, dim, rng=rng or default_rng())
 
     def forward(self, embeddings: Tensor, timestamps: Sequence[float]) -> Tensor:
-        slots = np.array([time_slot(t) for t in timestamps], dtype=np.int64)
+        hours = np.asarray(timestamps, dtype=np.float64)
+        slots = np.asarray(
+            [time_slot(t) for t in hours.reshape(-1)], dtype=np.int64
+        ).reshape(hours.shape)
         return embeddings + self.slots(slots)

@@ -13,9 +13,11 @@ The output vector is the last position of the final sequence.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
-from ..autograd import Tensor
+import numpy as np
+
+from ..autograd import Tensor, where
 from ..nn import (
     Dropout,
     LayerNorm,
@@ -53,6 +55,38 @@ class AttentionBlock(Module):
         forwarded = self.feed_forward(sequence).relu()
         return self.norm3(sequence + self.drop(forwarded))
 
+    def forward_batch(
+        self,
+        sequence: Tensor,
+        history: Optional[Tensor],
+        history_mask: Optional[np.ndarray],
+    ) -> Tensor:
+        """Padded-batch variant: ``sequence`` is ``(B, L, dim)``.
+
+        ``history`` is ``(B, H_max, dim)`` right-padded graph knowledge
+        (or None when no sample in the batch has any); ``history_mask``
+        is boolean ``(B, H_max)``, True at padded rows.  Right-padding
+        plus the causal mask keeps real positions bit-compatible with
+        the per-sample path: a real query can never attend to a padded
+        key, and samples whose history is entirely padding keep their
+        pre-cross-attention sequence exactly as ``forward`` would.
+        """
+        length = sequence.shape[1]
+        mask = causal_mask(length)  # broadcast over the batch
+        attended = self.self_attention(sequence, sequence, sequence, mask=mask)
+        sequence = self.norm1(sequence + self.drop(attended))
+        if history is not None:
+            batch, h_max = history.shape[0], history.shape[1]
+            cross_mask = np.broadcast_to(
+                history_mask[:, None, :], (batch, length, h_max)
+            )
+            crossed = self.cross_attention(sequence, history, history, mask=cross_mask)
+            updated = self.norm2(sequence + self.drop(crossed))
+            has_history = ~history_mask.all(axis=1)  # (B,)
+            sequence = where(has_history[:, None, None], updated, sequence)
+        forwarded = self.feed_forward(sequence).relu()
+        return self.norm3(sequence + self.drop(forwarded))
+
 
 class FusionModule(Module):
     """MP1 (tiles) / MP2 (POIs): N blocks, returns the last position."""
@@ -76,3 +110,22 @@ class FusionModule(Module):
         for block in self.blocks:
             out = block(out, history)
         return out[out.shape[0] - 1]
+
+    def forward_batch(
+        self,
+        sequence: Tensor,
+        lengths: Sequence[int],
+        history: Optional[Tensor] = None,
+        history_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Padded-batch fusion: ``(B, L_max, dim)`` -> ``(B, dim)``.
+
+        ``lengths`` gives each sample's real prefix length; the output
+        row for sample b is position ``lengths[b] - 1`` of the final
+        sequence — the same "last position" rule as :meth:`forward`.
+        """
+        out = sequence
+        for block in self.blocks:
+            out = block.forward_batch(out, history, history_mask)
+        last = np.asarray(lengths, dtype=np.int64) - 1
+        return out[np.arange(out.shape[0]), last]

@@ -26,7 +26,7 @@ import numpy as np
 from ..autograd import Tensor, concat, no_grad
 from ..data.trajectory import PredictionSample
 from ..graphs import QRPGraph, strip_edges
-from ..nn import Module
+from ..nn import Module, key_padding_mask
 from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
 from ..utils.cache import LRUCache
 from ..utils.rng import default_rng, derive
@@ -41,7 +41,9 @@ from .two_step import (
     candidate_pois,
     cosine_similarities,
     rank_pois,
+    rank_pois_batch,
     rank_tiles,
+    rank_tiles_batch,
     select_tiles,
 )
 
@@ -113,6 +115,9 @@ class TSPNRA(Module, PredictorBase):
         self._leaf_ids = list(tile_system.leaves())
         self._leaf_index = {leaf: i for i, leaf in enumerate(self._leaf_ids)}
         self._leaf_array = np.asarray(self._leaf_ids, dtype=np.int64)
+        # POI -> leaf-tile lookup table (filled lazily; lets the batched
+        # encode map a whole (batch, length) id array in one gather)
+        self._poi_leaf: Optional[np.ndarray] = None
         # cache of (graph, HGAT masks) keyed by (user, trajectory index);
         # unbounded by default, swappable for a bounded LRU when serving
         self._graph_cache: LRUCache = LRUCache(maxsize=None)
@@ -199,25 +204,107 @@ class TSPNRA(Module, PredictorBase):
             tile_sequence = self.tile_temporal(tile_sequence, timestamps)
             poi_sequence = self.poi_temporal(poi_sequence, timestamps)
 
-        history_tiles: Optional[Tensor] = None
-        history_pois: Optional[Tensor] = None
-        if self.config.use_graph and sample.history:
-            qrp, masks = self._qrp_for(sample)
-            if not qrp.is_empty:
-                initial = concat(
-                    [
-                        tile_embeddings[np.asarray(qrp.tile_refs, dtype=np.int64)],
-                        poi_embeddings[np.asarray(qrp.poi_refs, dtype=np.int64)],
-                    ],
-                    axis=0,
-                )
-                knowledge = self.hgat(qrp, initial, masks=masks)
-                n_tiles = len(qrp.tile_refs)
-                history_tiles = knowledge[0:n_tiles]
-                history_pois = knowledge[n_tiles:]
+        history_tiles, history_pois = self._history_knowledge(
+            sample, tile_embeddings, poi_embeddings
+        )
 
         tile_output = self.fusion_tile(tile_sequence, history_tiles)
         poi_output = self.fusion_poi(poi_sequence, history_pois)
+        return tile_output, poi_output
+
+    def _poi_leaf_table(self) -> np.ndarray:
+        if self._poi_leaf is None:
+            self._poi_leaf = np.asarray(
+                [self.tile_system.leaf_of_poi(p) for p in range(self.num_pois)],
+                dtype=np.int64,
+            )
+        return self._poi_leaf
+
+    def _history_knowledge(self, sample: PredictionSample, tile_embeddings, poi_embeddings):
+        """HGAT knowledge rows for one sample: (tiles, pois) or (None, None)."""
+        if not (self.config.use_graph and sample.history):
+            return None, None
+        qrp, masks = self._qrp_for(sample)
+        if qrp.is_empty:
+            return None, None
+        initial = concat(
+            [
+                tile_embeddings[np.asarray(qrp.tile_refs, dtype=np.int64)],
+                poi_embeddings[np.asarray(qrp.poi_refs, dtype=np.int64)],
+            ],
+            axis=0,
+        )
+        knowledge = self.hgat(qrp, initial, masks=masks)
+        n_tiles = len(qrp.tile_refs)
+        return knowledge[0:n_tiles], knowledge[n_tiles:]
+
+    def encode_batch(
+        self,
+        samples: Sequence[PredictionSample],
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+    ) -> Tuple[Tensor, Tensor]:
+        """Fused (h_out_tau, h_out_p) for a whole batch: ``(B, dim)`` each.
+
+        The vectorised inference path: prefixes are right-padded to the
+        batch maximum and run through the spatial/temporal encoders and
+        both fusion stacks as one ``(batch, seq, dim)`` tensor (causal
+        masking keeps padded positions out of every real position's
+        receptive field).  QR-P graph knowledge is still computed per
+        *unique* history — graphs are tiny, heterogeneous, and shared
+        by every sample of a trajectory — then right-padded and masked
+        for the batched cross attention.  Padding is assembled outside
+        the autograd graph, so this path is inference-only; training
+        keeps the per-sample :meth:`encode`.
+        """
+        batch = len(samples)
+        lengths = np.asarray([len(s.prefix) for s in samples], dtype=np.int64)
+        if lengths.min() < 1:
+            raise ValueError("encode_batch needs non-empty prefixes")
+        l_max = int(lengths.max())
+        prefix_ids = np.zeros((batch, l_max), dtype=np.int64)
+        timestamps = np.zeros((batch, l_max), dtype=np.float64)
+        for i, sample in enumerate(samples):
+            ids = sample.prefix_poi_ids
+            prefix_ids[i, : len(ids)] = ids
+            timestamps[i, : len(ids)] = [v.timestamp for v in sample.prefix]
+        tile_ids = self._poi_leaf_table()[prefix_ids]
+
+        tile_sequence = tile_embeddings[tile_ids]  # (B, L, dim)
+        poi_sequence = poi_embeddings[prefix_ids]
+        if self.config.use_st_encoder:
+            locations = self.normalized_xy[prefix_ids]  # (B, L, 2)
+            tile_sequence = self.spatial_encoder(tile_sequence, locations)
+            tile_sequence = self.tile_temporal(tile_sequence, timestamps)
+            poi_sequence = self.poi_temporal(poi_sequence, timestamps)
+
+        history_tiles = history_pois = None
+        tile_mask = poi_mask = None
+        if self.config.use_graph:
+            knowledge = {}  # history_key -> (tile rows, poi rows)
+            for sample in samples:
+                if sample.history_key not in knowledge:
+                    knowledge[sample.history_key] = self._history_knowledge(
+                        sample, tile_embeddings, poi_embeddings
+                    )
+            per_sample = [knowledge[s.history_key] for s in samples]
+            n_tiles = [0 if k[0] is None else k[0].shape[0] for k in per_sample]
+            n_pois = [0 if k[1] is None else k[1].shape[0] for k in per_sample]
+            if max(n_tiles, default=0) > 0:
+                history_tiles, tile_mask = _pad_knowledge(
+                    [k[0] for k in per_sample], n_tiles, self.config.dim
+                )
+            if max(n_pois, default=0) > 0:
+                history_pois, poi_mask = _pad_knowledge(
+                    [k[1] for k in per_sample], n_pois, self.config.dim
+                )
+
+        tile_output = self.fusion_tile.forward_batch(
+            tile_sequence, lengths, history_tiles, tile_mask
+        )
+        poi_output = self.fusion_poi.forward_batch(
+            poi_sequence, lengths, history_pois, poi_mask
+        )
         return tile_output, poi_output
 
     # ------------------------------------------------------------------
@@ -301,7 +388,64 @@ class TSPNRA(Module, PredictorBase):
             target_poi=target_poi,
             ranked_tiles=ranked_tiles,
             target_tile=target_tile,
+            num_pois=self.num_pois,
         )
+
+    def predict_batch(
+        self,
+        samples: Sequence[PredictionSample],
+        tile_embeddings: Optional[Tensor] = None,
+        poi_embeddings: Optional[Tensor] = None,
+        k: Optional[int] = None,
+    ) -> List[PredictorResult]:
+        """Vectorised :meth:`predict` over a batch (no gradients).
+
+        One padded-batch encode (:meth:`encode_batch`), one matmul over
+        the leaf-embedding table for step one and one over the full POI
+        table for step two — ranked lists are identical to mapping
+        :meth:`predict` over the batch.
+        """
+        if not samples:
+            return []
+        k = k if k is not None else self.config.top_k
+        with no_grad():
+            if tile_embeddings is None or poi_embeddings is None:
+                tile_embeddings, poi_embeddings = self.compute_embeddings()
+            tile_outputs, poi_outputs = self.encode_batch(
+                samples, tile_embeddings, poi_embeddings
+            )
+            leaf_embeddings = tile_embeddings.data[self._leaf_array]
+            ranked_tiles_all = rank_tiles_batch(
+                tile_outputs.data, leaf_embeddings, self._leaf_ids
+            )
+            if self.config.use_two_step:
+                candidate_lists = [
+                    candidate_pois(self.tile_system, ranked[:k])
+                    for ranked in ranked_tiles_all
+                ]
+            else:
+                candidate_lists = [list(range(self.num_pois))] * len(samples)
+            ranked_pois_all = rank_pois_batch(
+                poi_outputs.data, poi_embeddings.data, candidate_lists
+            )
+        results: List[PredictorResult] = []
+        for sample, ranked_tiles, ranked_pois in zip(
+            samples, ranked_tiles_all, ranked_pois_all
+        ):
+            target_poi = target_poi_of(sample)
+            target_tile = (
+                self.tile_system.leaf_of_poi(target_poi) if target_poi >= 0 else -1
+            )
+            results.append(
+                PredictorResult(
+                    ranked_pois=ranked_pois,
+                    target_poi=target_poi,
+                    ranked_tiles=ranked_tiles,
+                    target_tile=target_tile,
+                    num_pois=self.num_pois,
+                )
+            )
+        return results
 
     def score_candidates(
         self, sample: PredictionSample, candidate_ids: Sequence[int], *shared
@@ -315,3 +459,19 @@ class TSPNRA(Module, PredictorBase):
 
     def clear_graph_cache(self) -> None:
         self._graph_cache.clear()
+
+
+def _pad_knowledge(rows: List[Optional[Tensor]], counts: List[int], dim: int):
+    """Right-pad per-sample knowledge rows into ``(B, H_max, dim)``.
+
+    Returns the padded tensor plus the boolean ``(B, H_max)``
+    key-padding mask (True at padded rows; all-True for samples without
+    knowledge).  Assembled from detached data — inference-only, like
+    the caller.
+    """
+    h_max = max(counts)
+    padded = np.zeros((len(rows), h_max, dim), dtype=np.float64)
+    for i, (tensor, count) in enumerate(zip(rows, counts)):
+        if count:
+            padded[i, :count] = tensor.data
+    return Tensor(padded), key_padding_mask(counts, h_max)

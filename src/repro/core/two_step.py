@@ -3,6 +3,11 @@
 Step one ranks all leaf tiles by cosine similarity to the fused tile
 vector h_out_tau; step two restricts POI candidates to the top-K tiles
 and ranks them by cosine similarity to h_out_p.
+
+The ``*_batch`` variants score a whole batch of fused output vectors
+against the leaf/POI embedding tables with a single matmul — the
+vectorised inference path — and then read each sample's ranking off
+its own score row, so they produce exactly the per-sample orderings.
 """
 
 from __future__ import annotations
@@ -65,5 +70,55 @@ def rank_pois(
         return []
     order = rank_by_cosine(poi_output, poi_embeddings)
     return [candidate_ids[i] for i in order]
+
+
+# ----------------------------------------------------------------------
+# batched variants (vectorised inference path)
+# ----------------------------------------------------------------------
+def cosine_similarities_batch(outputs: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """cos(theta) between each output row and each candidate row.
+
+    ``outputs``: ``(batch, dim)``; ``candidates``: ``(n, dim)``;
+    returns ``(batch, n)`` — one matmul instead of a per-sample loop.
+    """
+    out_norm = outputs / (np.linalg.norm(outputs, axis=1, keepdims=True) + 1e-12)
+    cand_norm = candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
+    return out_norm @ cand_norm.T
+
+
+def rank_tiles_batch(
+    tile_outputs: np.ndarray,
+    leaf_embeddings: np.ndarray,
+    leaf_ids: Sequence[int],
+) -> List[List[int]]:
+    """Step one for a batch: the full ranked tile list per sample."""
+    scores = cosine_similarities_batch(tile_outputs, leaf_embeddings)
+    orders = np.argsort(-scores, axis=1, kind="stable")
+    return [[leaf_ids[i] for i in order] for order in orders]
+
+
+def rank_pois_batch(
+    poi_outputs: np.ndarray,
+    poi_embeddings: np.ndarray,
+    candidate_lists: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """Step two for a batch of per-sample candidate sets.
+
+    One ``(batch, num_pois)`` matmul scores every output against the
+    full POI table; each sample's ranking is then its candidate list
+    stably re-ordered by its score row — identical to calling
+    :func:`rank_pois` on the candidate subset, because cosine scores
+    are row-independent.
+    """
+    scores = cosine_similarities_batch(poi_outputs, poi_embeddings)
+    rankings: List[List[int]] = []
+    for row, candidates in zip(scores, candidate_lists):
+        if len(candidates) == 0:
+            rankings.append([])
+            continue
+        candidate_array = np.asarray(candidates, dtype=np.int64)
+        order = np.argsort(-row[candidate_array], kind="stable")
+        rankings.append([int(candidate_array[i]) for i in order])
+    return rankings
 
 

@@ -85,16 +85,18 @@ class PredictionSample:
     to QR-P graph construction); ``prefix`` is the visited part of the
     current trajectory; ``target`` is the POI actually visited next —
     ``None`` for live serving requests that carry no ground truth
-    (``repro.serve.Predictor.recommend``).  ``history_key`` identifies
-    (user, current-trajectory index) so QR-P graphs can be cached per
-    current trajectory.
+    (``repro.serve.Predictor.recommend``).  ``history_key`` is the
+    hashable QR-P graph-cache key: dataset samples use
+    ``(user, current-trajectory index)`` 2-tuples, while live serving
+    uses namespaced ``("serve", user, history-digest)`` 3-tuples so a
+    request can never alias a training-time cache entry.
     """
 
     user_id: int
     history: List[Trajectory]
     prefix: List[Visit]
     target: Optional[Visit]
-    history_key: Tuple[int, int] = field(default=(0, 0))
+    history_key: Tuple = field(default=(0, 0))
 
     @property
     def prefix_poi_ids(self) -> List[int]:

@@ -2,8 +2,10 @@
 
 Every model conforms to :class:`repro.serve.protocol.PredictorProtocol`,
 so the loop is contract-driven: compute the shared state once
-(``compute_embeddings()``, ``()`` for stateless models), feed it to
-every ``predict`` call, and read ranks off the unified result type.
+(``compute_embeddings()``, ``()`` for stateless models), feed the whole
+sample set through the model's vectorised ``predict_batch`` (in
+fixed-size chunks so padded batches stay small), and read ranks off
+the unified result type.
 """
 
 from __future__ import annotations
@@ -14,9 +16,13 @@ from ..autograd import no_grad
 from ..data.trajectory import PredictionSample
 from .metrics import DEFAULT_KS, metric_table
 
+# Chunk size for batched evaluation: bounds the (batch, seq, dim)
+# padded tensors without giving up the batched encode's amortisation.
+EVAL_BATCH_SIZE = 128
+
 
 def _collect(model, samples: Sequence[PredictionSample], rank_attr: str) -> List[int]:
-    """Shared loop: per-sample ``rank_attr`` with cached shared state.
+    """Shared loop: ``rank_attr`` per sample via the batched encode.
 
     Restores the model's prior train/eval mode on exit instead of
     unconditionally flipping it back to training.
@@ -26,7 +32,14 @@ def _collect(model, samples: Sequence[PredictionSample], rank_attr: str) -> List
     try:
         with no_grad():
             shared = model.compute_embeddings()
-            return [getattr(model.predict(sample, *shared), rank_attr) for sample in samples]
+            ranks: List[int] = []
+            for lo in range(0, len(samples), EVAL_BATCH_SIZE):
+                batch = samples[lo : lo + EVAL_BATCH_SIZE]
+                ranks.extend(
+                    getattr(result, rank_attr)
+                    for result in model.predict_batch(batch, *shared)
+                )
+            return ranks
     finally:
         model.train(was_training)
 

@@ -177,10 +177,14 @@ def run_fig11(
             top = full.ranked_tiles[:k]
             candidates = candidate_pois(model.tile_system, top)
             candidate_counts.append(len(candidates))
-            # re-rank the cached full POI list restricted to candidates
+            # re-rank the cached full POI list restricted to candidates;
+            # a target outside them ranks past the whole POI universe,
+            # not just past the (possibly tiny) candidate list
             allowed = set(candidates)
             restricted = [p for p in full.ranked_pois if p in allowed]
-            poi_ranks.append(rank_of_target(restricted, sample.target.poi_id))
+            poi_ranks.append(
+                rank_of_target(restricted, sample.target.poi_id, universe=model.num_pois)
+            )
         mean_candidates = float(np.mean(candidate_counts))
         points.append(
             Fig11Point(

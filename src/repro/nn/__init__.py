@@ -1,6 +1,6 @@
 """Neural-network layers built on the repro autograd engine."""
 
-from .attention import MultiHeadAttention, SelfAttention, causal_mask
+from .attention import MultiHeadAttention, SelfAttention, causal_mask, key_padding_mask
 from .layers import (
     Conv2d,
     Dropout,
@@ -39,4 +39,5 @@ __all__ = [
     "Sigmoid",
     "Tanh",
     "causal_mask",
+    "key_padding_mask",
 ]

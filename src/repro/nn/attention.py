@@ -4,14 +4,20 @@ Used by the TSPN-RA fusion modules (masked self-attention and cross
 attention onto historical graph knowledge, paper Sec. V-A) and by the
 attention-based baselines (DeepMove, STAN, STiSAN, SAE-NAD).
 
-Sequences here are unbatched ``(length, dim)`` tensors; the training
-loop iterates trajectories, which matches the paper's small batch sizes
-and keeps variable-length handling trivial.
+Sequences come in two shapes:
+
+* unbatched ``(length, dim)`` — the training loop iterates
+  trajectories, which matches the paper's small batch sizes and keeps
+  variable-length handling trivial;
+* batched ``(batch, length, dim)`` — the vectorised inference path
+  pads prefixes to a common length and masks the padding (the
+  MobTCast-style padded-batch formulation).  :func:`key_padding_mask`
+  builds the standard right-padding mask from per-sample lengths.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -32,11 +38,27 @@ def causal_mask(length: int) -> np.ndarray:
     return np.triu(np.ones((length, length), dtype=bool), k=1)
 
 
+def key_padding_mask(lengths: Sequence[int], max_length: int) -> np.ndarray:
+    """Boolean ``(batch, max_length)``; True at right-padded key slots.
+
+    Row ``b`` is True from ``lengths[b]`` onward, so padded keys are
+    blocked for every query of sample ``b``.
+    """
+    positions = np.arange(max_length)
+    return positions[None, :] >= np.asarray(lengths, dtype=np.int64)[:, None]
+
+
 class MultiHeadAttention(Module):
     """Scaled dot-product attention with ``num_heads`` heads.
 
-    ``query``: ``(L_q, dim)``; ``key``/``value``: ``(L_k, dim)``.
-    ``mask`` (optional): boolean ``(L_q, L_k)``, True = blocked.
+    Unbatched: ``query`` ``(L_q, dim)``; ``key``/``value`` ``(L_k, dim)``;
+    ``mask`` boolean ``(L_q, L_k)``, True = blocked.
+
+    Batched: ``query`` ``(B, L_q, dim)``; ``key``/``value``
+    ``(B, L_k, dim)``; ``mask`` broadcastable ``(L_q, L_k)`` or
+    per-sample ``(B, L_q, L_k)``.  A fully masked row yields a uniform
+    distribution over blocked positions — callers discard those rows
+    (padded queries) or select away the output (absent history).
     """
 
     def __init__(self, dim: int, num_heads: int = 4, rng=None):
@@ -56,6 +78,10 @@ class MultiHeadAttention(Module):
         # (L, dim) -> (heads, L, head_dim)
         return x.reshape(length, self.num_heads, self.head_dim).transpose(1, 0, 2)
 
+    def _split_batch(self, x: Tensor, batch: int, length: int) -> Tensor:
+        # (B, L, dim) -> (B, heads, L, head_dim)
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
     def forward(
         self,
         query: Tensor,
@@ -63,6 +89,8 @@ class MultiHeadAttention(Module):
         value: Tensor,
         mask: Optional[np.ndarray] = None,
     ) -> Tensor:
+        if query.ndim == 3:
+            return self._forward_batch(query, key, value, mask=mask)
         l_q, l_k = query.shape[0], key.shape[0]
         q = self._split(self.w_q(query), l_q)
         k = self._split(self.w_k(key), l_k)
@@ -76,6 +104,32 @@ class MultiHeadAttention(Module):
         merged = attended.transpose(1, 0, 2).reshape(l_q, self.dim)
         return self.w_o(merged)
 
+    def _forward_batch(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        batch, l_q = query.shape[0], query.shape[1]
+        l_k = key.shape[1]
+        q = self._split_batch(self.w_q(query), batch, l_q)
+        k = self._split_batch(self.w_k(key), batch, l_k)
+        v = self._split_batch(self.w_v(value), batch, l_k)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 2:  # shared (L_q, L_k), e.g. a causal mask
+                mask = mask[None, None, :, :]
+            elif mask.ndim == 3:  # per-sample (B, L_q, L_k)
+                mask = mask[:, None, :, :]
+            scores = masked_fill(scores, mask, NEG_INF)
+        weights = softmax(scores, axis=-1)
+        attended = weights @ v  # (B, heads, L_q, head_dim)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, l_q, self.dim)
+        return self.w_o(merged)
+
 
 class SelfAttention(MultiHeadAttention):
     """Self-attention convenience wrapper (optionally causal)."""
@@ -86,6 +140,6 @@ class SelfAttention(MultiHeadAttention):
 
     def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         if self.causal:
-            auto = causal_mask(x.shape[0])
+            auto = causal_mask(x.shape[-2])
             mask = auto if mask is None else (auto | mask)
         return super().forward(x, x, x, mask=mask)

@@ -2,7 +2,11 @@
 
 These back the recurrent baselines: GRU, STRNN, DeepMove's recurrent
 trunk, LSTPM's long/short-term LSTMs and Graph-Flashback's RNN.
-Sequences are unbatched ``(length, dim)`` tensors.
+Sequences are unbatched ``(length, dim)`` tensors in the training
+loop; ``GRU`` and ``LSTM`` additionally unroll right-padded
+``(batch, length, dim)`` batches for the vectorised inference path
+(the cells slice their gate blocks along the last axis, so a step over
+``(batch, dim)`` states is the same code as a step over ``(dim,)``).
 """
 
 from __future__ import annotations
@@ -35,9 +39,9 @@ class GRUCell(Module):
         gi = x @ self.w_ih.transpose() + self.b_ih
         gh = h @ self.w_hh.transpose() + self.b_hh
         d = self.hidden_dim
-        r = (gi[0:d] + gh[0:d]).sigmoid()
-        z = (gi[d:2 * d] + gh[d:2 * d]).sigmoid()
-        n = (gi[2 * d:3 * d] + r * gh[2 * d:3 * d]).tanh()
+        r = (gi[..., 0:d] + gh[..., 0:d]).sigmoid()
+        z = (gi[..., d:2 * d] + gh[..., d:2 * d]).sigmoid()
+        n = (gi[..., 2 * d:3 * d] + r * gh[..., 2 * d:3 * d]).tanh()
         return (1.0 - z) * n + z * h
 
 
@@ -50,8 +54,15 @@ class GRU(Module):
         self.hidden_dim = hidden_dim
 
     def forward(self, x: Tensor, h0: Optional[Tensor] = None) -> Tuple[Tensor, Tensor]:
+        if x.ndim == 3:  # (batch, length, dim): one cell step per position
+            h = h0 if h0 is not None else zeros((x.shape[0], self.hidden_dim))
+            outputs: List[Tensor] = []
+            for t in range(x.shape[1]):
+                h = self.cell(x[:, t], h)
+                outputs.append(h)
+            return stack(outputs, axis=1), h
         h = h0 if h0 is not None else zeros(self.hidden_dim)
-        outputs: List[Tensor] = []
+        outputs = []
         for t in range(x.shape[0]):
             h = self.cell(x[t], h)
             outputs.append(h)
@@ -74,10 +85,10 @@ class LSTMCell(Module):
         h, c = state
         gates = x @ self.w_ih.transpose() + h @ self.w_hh.transpose() + self.b
         d = self.hidden_dim
-        i = gates[0:d].sigmoid()
-        f = gates[d:2 * d].sigmoid()
-        g = gates[2 * d:3 * d].tanh()
-        o = gates[3 * d:4 * d].sigmoid()
+        i = gates[..., 0:d].sigmoid()
+        f = gates[..., d:2 * d].sigmoid()
+        g = gates[..., 2 * d:3 * d].tanh()
+        o = gates[..., 3 * d:4 * d].sigmoid()
         c_new = f * c + i * g
         h_new = o * c_new.tanh()
         return h_new, c_new
@@ -94,10 +105,20 @@ class LSTM(Module):
     def forward(
         self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
     ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        if x.ndim == 3:  # (batch, length, dim)
+            if state is None:
+                batch = x.shape[0]
+                state = (zeros((batch, self.hidden_dim)), zeros((batch, self.hidden_dim)))
+            h, c = state
+            outputs: List[Tensor] = []
+            for t in range(x.shape[1]):
+                h, c = self.cell(x[:, t], (h, c))
+                outputs.append(h)
+            return stack(outputs, axis=1), (h, c)
         if state is None:
             state = (zeros(self.hidden_dim), zeros(self.hidden_dim))
         h, c = state
-        outputs: List[Tensor] = []
+        outputs = []
         for t in range(x.shape[0]):
             h, c = self.cell(x[t], (h, c))
             outputs.append(h)

@@ -4,14 +4,22 @@ Entry points
 ------------
 * :class:`PredictorResult` / :class:`PredictorProtocol` /
   :class:`PredictorBase` — the one inference contract TSPN-RA and all
-  baselines conform to;
+  baselines conform to.  Rank semantics: an absent target ranks
+  ``num_pois + 1`` (past the whole POI universe), never just past a
+  restricted candidate list;
 * :func:`save_checkpoint` / :func:`load_checkpoint` — persist a
   trained model (config + weights + dataset recipe) and reload it
   without retraining;
 * :class:`Predictor` — the serving facade: cached shared embeddings,
-  LRU-bounded per-user graph cache, batched inference,
-  latency/throughput stats;
-* :func:`compare_throughput` — cached-vs-uncached serving microbench.
+  LRU-bounded per-user graph cache, and *vectorised* batched
+  inference: every request batch is right-padded, masked, and encoded
+  as one ``(batch, seq, dim)`` pass through the model's
+  ``predict_batch`` (TSPN-RA's batched fusion/attention, the
+  baselines' ``score_batch``), with per-batch p50/p95/p99 latency in
+  :class:`ServeStats`;
+* :func:`compare_throughput` — uncached vs cached-per-sample vs
+  batched serving microbench (the batched leg reports latency
+  percentiles).
 """
 
 from .checkpoint import (

@@ -8,21 +8,33 @@ model as a long-lived recommendation service:
   (optimiser steps and ``load_state_dict`` both bump it);
 * per-user QR-P graphs are bounded by an LRU cache instead of the
   model's default unbounded dict;
-* every request batch is timed, so latency/throughput roll up in
-  :class:`ServeStats`.
+* request batches go through the model's vectorised ``predict_batch``
+  (padded-and-masked batch encode for TSPN-RA, ``score_batch`` for the
+  baselines) instead of a per-sample loop;
+* every request batch is timed, so latency/throughput — including
+  per-batch p50/p95/p99 — roll up in :class:`ServeStats`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..autograd import no_grad
 from ..data.trajectory import PredictionSample, Trajectory, Visit
 from ..utils.cache import LRUCache
 from .checkpoint import load_checkpoint
 from .protocol import PredictorResult
+
+LATENCY_PERCENTILES = (50, 95, 99)
+
+# Per-batch latency window: percentiles are computed over the most
+# recent batches only, so a long-lived Predictor neither grows without
+# bound nor pays O(history) per stats read.
+LATENCY_WINDOW = 4096
 
 
 @dataclass
@@ -34,6 +46,7 @@ class ServeStats:
     total_seconds: float = 0.0
     embedding_refreshes: int = 0
     embedding_cache_hits: int = 0
+    batch_seconds: List[float] = field(default_factory=list)
 
     @property
     def mean_latency_ms(self) -> float:
@@ -44,10 +57,29 @@ class ServeStats:
         """Requests served per second of inference time."""
         return self.requests / self.total_seconds if self.total_seconds > 0 else 0.0
 
+    def record_batch(self, seconds: float, size: int) -> None:
+        self.total_seconds += seconds
+        self.requests += size
+        self.batches += 1
+        self.batch_seconds.append(seconds)
+        if len(self.batch_seconds) > 2 * LATENCY_WINDOW:  # amortised trim
+            del self.batch_seconds[:-LATENCY_WINDOW]
+
+    def latency_percentiles(
+        self, percentiles: Sequence[int] = LATENCY_PERCENTILES
+    ) -> Dict[str, float]:
+        """Per-batch latency percentiles in ms over the recent window."""
+        if not self.batch_seconds:
+            return {f"p{p}_ms": 0.0 for p in percentiles}
+        millis = 1000.0 * np.asarray(self.batch_seconds[-LATENCY_WINDOW:])
+        return {f"p{p}_ms": float(np.percentile(millis, p)) for p in percentiles}
+
     def as_dict(self) -> Dict[str, float]:
         out = dict(asdict(self))
+        out.pop("batch_seconds")  # raw series; summarised below
         out["mean_latency_ms"] = self.mean_latency_ms
         out["throughput"] = self.throughput
+        out.update(self.latency_percentiles())
         return out
 
 
@@ -108,11 +140,14 @@ class Predictor:
     def predict_batch(
         self, samples: Sequence[PredictionSample], k: Optional[int] = None
     ) -> List[PredictorResult]:
-        """Serve a batch, reusing the cached shared embeddings.
+        """Serve a batch through the model's vectorised batch path.
 
-        The model runs in eval mode for the batch and its prior
-        train/eval mode is restored afterwards, so a mid-training
-        evaluation hook can wrap the live model safely.
+        Shared embeddings come from the cache; the model's
+        ``predict_batch`` encodes the whole batch at once (results are
+        identical to the per-sample loop).  The model runs in eval mode
+        for the batch and its prior train/eval mode is restored
+        afterwards, so a mid-training evaluation hook can wrap the live
+        model safely.
         """
         start = time.perf_counter()
         was_training = getattr(self.model, "training", False)
@@ -120,12 +155,10 @@ class Predictor:
         try:
             with no_grad():
                 shared = self.shared_state()
-                results = [self.model.predict(sample, *shared, k=k) for sample in samples]
+                results = self.model.predict_batch(samples, *shared, k=k)
         finally:
             self.model.train(was_training)
-        self.stats.total_seconds += time.perf_counter() - start
-        self.stats.requests += len(results)
-        self.stats.batches += 1
+        self.stats.record_batch(time.perf_counter() - start, len(results))
         return results
 
     def target_rank(self, sample: PredictionSample) -> int:
@@ -149,44 +182,83 @@ class Predictor:
         if not visits:
             raise ValueError("recommend() needs at least one visit")
         history = list(history)
-        # key by history content so equal requests share one cached graph
-        key = (user_id, hash(tuple(v.poi_id for t in history for v in t.visits)))
+        # Key by history content so equal requests share one cached
+        # graph.  The "serve" namespace keeps these keys disjoint from
+        # dataset ``history_key=(user, trajectory_index)`` 2-tuples —
+        # without it a live request could alias a training-time QR-P
+        # cache entry and serve a stale graph.
+        key = ("serve", user_id, hash(tuple(v.poi_id for t in history for v in t.visits)))
         sample = PredictionSample(
             user_id=user_id, history=history, prefix=visits, target=None, history_key=key
         )
         return self.predict(sample).top_k(k)
 
 
-def compare_throughput(model, samples: Sequence[PredictionSample], repeats: int = 1) -> Dict[str, float]:
-    """Samples/sec served with vs without the shared-embedding cache.
+def compare_throughput(
+    model,
+    samples: Sequence[PredictionSample],
+    repeats: int = 1,
+    batch_size: int = 16,
+) -> Dict[str, float]:
+    """Samples/sec: uncached vs cached-per-sample vs vectorised-batched.
 
-    The uncached loop recomputes ``compute_embeddings()`` per request —
-    exactly what the pre-serve research loop did when callers used bare
-    ``model.predict(sample)``.
+    Three legs, slowest to fastest:
+
+    * ``uncached`` — the legacy research loop: ``compute_embeddings()``
+      recomputed per request;
+    * ``cached`` — shared embeddings computed once, then the per-sample
+      ``predict`` loop (what ``Predictor.predict_batch`` did before the
+      vectorised encode landed);
+    * ``batched`` — the :class:`Predictor` facade driving the model's
+      ``predict_batch`` in chunks of ``batch_size``, with per-batch
+      latencies recorded for p50/p95/p99.
+
+    The model's prior train/eval mode is restored on exit — the same
+    guarantee ``Predictor.predict_batch`` and the evaluator document.
     """
     samples = list(samples)
+    was_training = getattr(model, "training", False)
     model.eval()
-    start = time.perf_counter()
-    with no_grad():
-        for _ in range(repeats):
-            for sample in samples:
-                model.predict(sample, *model.compute_embeddings())
-    uncached_seconds = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        with no_grad():
+            for _ in range(repeats):
+                for sample in samples:
+                    model.predict(sample, *model.compute_embeddings())
+        uncached_seconds = time.perf_counter() - start
 
-    # graph_cache_size=None: a measurement facade must not swap the
-    # caller's model cache out from under it
-    predictor = Predictor(model, graph_cache_size=None)
-    start = time.perf_counter()
-    for _ in range(repeats):
-        predictor.predict_batch(samples)
-    cached_seconds = time.perf_counter() - start
+        with no_grad():
+            shared = model.compute_embeddings()
+            start = time.perf_counter()
+            for _ in range(repeats):
+                for sample in samples:
+                    model.predict(sample, *shared)
+            cached_seconds = time.perf_counter() - start
+
+        # graph_cache_size=None: a measurement facade must not swap the
+        # caller's model cache out from under it
+        predictor = Predictor(model, graph_cache_size=None)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for lo in range(0, len(samples), batch_size):
+                predictor.predict_batch(samples[lo : lo + batch_size])
+        batched_seconds = time.perf_counter() - start
+    finally:
+        model.train(was_training)
 
     count = len(samples) * repeats
-    return {
+    report = {
         "samples": float(count),
         "uncached_seconds": uncached_seconds,
         "cached_seconds": cached_seconds,
+        "batched_seconds": batched_seconds,
         "uncached_sps": count / uncached_seconds if uncached_seconds > 0 else float("inf"),
         "cached_sps": count / cached_seconds if cached_seconds > 0 else float("inf"),
+        "batched_sps": count / batched_seconds if batched_seconds > 0 else float("inf"),
         "speedup": uncached_seconds / cached_seconds if cached_seconds > 0 else float("inf"),
+        "batched_speedup": (
+            cached_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+        ),
     }
+    report.update(predictor.stats.latency_percentiles())
+    return report

@@ -32,12 +32,24 @@ from typing import (
 import numpy as np
 
 
-def rank_of_target(ranking: Sequence[int], target: int) -> int:
-    """1-based rank; ``len(ranking) + 1`` when absent (paper Eq. 1)."""
+def rank_of_target(
+    ranking: Sequence[int], target: int, universe: Optional[int] = None
+) -> int:
+    """1-based rank of ``target`` in ``ranking`` (paper Eq. 1).
+
+    When the target is absent, the rank is ``universe + 1`` — one past
+    the total number of rankable items — so a miss can never count as a
+    Recall@K/NDCG@K hit.  Restricted rankings (e.g. the two-step POI
+    stage, which only ranks POIs inside the top-K tiles) MUST pass
+    ``universe``: the historic ``len(ranking) + 1`` fallback silently
+    turned a missed target into a top-K "hit" whenever the candidate
+    set held fewer than K items.  Without ``universe`` the fallback is
+    kept for full-vocabulary rankings, where both conventions agree.
+    """
     for position, item in enumerate(ranking, start=1):
         if item == target:
             return position
-    return len(ranking) + 1
+    return (universe if universe is not None else len(ranking)) + 1
 
 
 def target_poi_of(sample) -> int:
@@ -51,17 +63,22 @@ class PredictorResult:
 
     ``ranked_tiles``/``target_tile`` are ``None`` for models without a
     tile-selection step (all baselines).  ``target_poi`` is ``-1`` for
-    live serving requests carrying no ground truth.
+    live serving requests carrying no ground truth.  ``num_pois`` is
+    the size of the full POI universe: models whose ranking is
+    restricted to a candidate subset (TSPN-RA's two-step path) set it
+    so an absent target ranks ``num_pois + 1``, strictly beyond any K,
+    instead of just past the (possibly tiny) candidate list.
     """
 
     ranked_pois: List[int]
     target_poi: int
     ranked_tiles: Optional[List[int]] = None
     target_tile: Optional[int] = None
+    num_pois: Optional[int] = None
 
     @property
     def poi_rank(self) -> int:
-        return rank_of_target(self.ranked_pois, self.target_poi)
+        return rank_of_target(self.ranked_pois, self.target_poi, universe=self.num_pois)
 
     @property
     def tile_rank(self) -> int:
@@ -86,6 +103,11 @@ class PredictorProtocol(Protocol):
         ...
 
     def predict(self, sample, *shared, k: Optional[int] = None) -> PredictorResult:
+        ...
+
+    def predict_batch(
+        self, samples, *shared, k: Optional[int] = None
+    ) -> List[PredictorResult]:
         ...
 
     def score_candidates(self, sample, candidate_ids, *shared) -> np.ndarray:
@@ -118,6 +140,18 @@ class PredictorBase:
 
     def predict(self, sample, *shared, k: Optional[int] = None) -> PredictorResult:
         raise NotImplementedError
+
+    def predict_batch(
+        self, samples, *shared, k: Optional[int] = None
+    ) -> List[PredictorResult]:
+        """Batched inference; the fallback is the per-sample loop.
+
+        Models with a vectorised encode override this (TSPN-RA pads and
+        masks the batch; ``NextPOIBaseline`` goes through
+        ``score_batch``).  Overrides must produce results identical to
+        mapping ``predict`` over the batch.
+        """
+        return [self.predict(sample, *shared, k=k) for sample in samples]
 
     def score_candidates(self, sample, candidate_ids, *shared) -> np.ndarray:
         raise NotImplementedError

@@ -169,6 +169,73 @@ class TestAttention:
         assert attn.w_q.weight.grad is not None
 
 
+class TestBatchedAttention:
+    def test_batched_self_attention_matches_per_sample(self):
+        attn = MultiHeadAttention(8, num_heads=2, rng=spawn(7))
+        x = np.random.default_rng(2).normal(size=(3, 5, 8))
+        mask = causal_mask(5)
+        batched = attn(Tensor(x), Tensor(x), Tensor(x), mask=mask).data
+        assert batched.shape == (3, 5, 8)
+        for b in range(3):
+            row = Tensor(x[b])
+            single = attn(row, row, row, mask=mask).data
+            np.testing.assert_allclose(batched[b], single, atol=1e-12)
+
+    def test_key_padding_mask_blocks_padding(self):
+        """Padded keys must not change real positions' outputs."""
+        from repro.nn import key_padding_mask
+
+        attn = MultiHeadAttention(8, num_heads=2, rng=spawn(8))
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(2, 3, 8))
+        kv_real = rng.normal(size=(2, 4, 8))
+        kv_padded = np.concatenate([kv_real, 99.0 * np.ones((2, 2, 8))], axis=1)
+        lengths = [4, 4]
+        mask = key_padding_mask(lengths, 6)  # (2, 6) True at pads
+        cross_mask = np.broadcast_to(mask[:, None, :], (2, 3, 6))
+        out_full = attn(Tensor(q), Tensor(kv_real), Tensor(kv_real)).data
+        out_masked = attn(Tensor(q), Tensor(kv_padded), Tensor(kv_padded), mask=cross_mask).data
+        np.testing.assert_allclose(out_masked, out_full, atol=1e-9)
+
+    def test_key_padding_mask_shape(self):
+        from repro.nn import key_padding_mask
+
+        mask = key_padding_mask([1, 3], 3)
+        assert mask.tolist() == [[False, True, True], [False, False, False]]
+
+    def test_batched_causal_self_attention_wrapper(self):
+        attn = SelfAttention(8, num_heads=2, causal=True, rng=spawn(9))
+        x = np.random.default_rng(4).normal(size=(2, 4, 8))
+        batched = attn(Tensor(x)).data
+        for b in range(2):
+            np.testing.assert_allclose(
+                batched[b], attn(Tensor(x[b])).data, atol=1e-12
+            )
+
+
+class TestBatchedRecurrent:
+    def test_batched_gru_matches_per_sample(self):
+        gru = GRU(3, 5, rng=spawn(10))
+        x = np.random.default_rng(5).normal(size=(4, 6, 3))
+        outputs, final = gru(Tensor(x))
+        assert outputs.shape == (4, 6, 5) and final.shape == (4, 5)
+        for b in range(4):
+            single_out, single_final = gru(Tensor(x[b]))
+            np.testing.assert_allclose(outputs.data[b], single_out.data, atol=1e-12)
+            np.testing.assert_allclose(final.data[b], single_final.data, atol=1e-12)
+
+    def test_batched_lstm_matches_per_sample(self):
+        lstm = LSTM(3, 5, rng=spawn(11))
+        x = np.random.default_rng(6).normal(size=(2, 4, 3))
+        outputs, (h, c) = lstm(Tensor(x))
+        assert outputs.shape == (2, 4, 5)
+        assert h.shape == (2, 5) and c.shape == (2, 5)
+        for b in range(2):
+            single_out, (sh, sc) = lstm(Tensor(x[b]))
+            np.testing.assert_allclose(outputs.data[b], single_out.data, atol=1e-12)
+            np.testing.assert_allclose(h.data[b], sh.data, atol=1e-12)
+
+
 class TestRecurrent:
     def test_gru_output_shape(self):
         gru = GRU(4, 6, rng=spawn(0))

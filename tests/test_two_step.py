@@ -5,10 +5,14 @@ import pytest
 
 from repro.core.two_step import (
     candidate_pois,
+    cosine_similarities,
+    cosine_similarities_batch,
     rank_by_cosine,
     rank_of_target,
     rank_pois,
+    rank_pois_batch,
     rank_tiles,
+    rank_tiles_batch,
     select_tiles,
 )
 
@@ -71,5 +75,54 @@ class TestRankOfTarget:
         assert rank_of_target([4, 2, 9], 9) == 3
 
     def test_missing_is_len_plus_one(self):
+        # legacy fallback, only valid for full-universe rankings
         assert rank_of_target([], 1) == 1  # |R|+1 with empty R
         assert rank_of_target([2, 3], 9) == 3
+
+    def test_missing_with_universe_ranks_past_it(self):
+        # a 2-item candidate list from a 1000-POI universe: a miss is
+        # rank 1001, never a top-K hit
+        assert rank_of_target([2, 3], 9, universe=1000) == 1001
+        assert rank_of_target([], 9, universe=1000) == 1001
+
+    def test_universe_irrelevant_when_found(self):
+        assert rank_of_target([4, 2, 9], 9, universe=1000) == 3
+
+
+class TestBatchedRanking:
+    def test_cosine_similarities_batch_matches_rows(self):
+        rng = np.random.default_rng(3)
+        outputs = rng.normal(size=(5, 8))
+        candidates = rng.normal(size=(11, 8))
+        batched = cosine_similarities_batch(outputs, candidates)
+        assert batched.shape == (5, 11)
+        for i in range(5):
+            np.testing.assert_allclose(
+                batched[i], cosine_similarities(outputs[i], candidates), atol=1e-12
+            )
+
+    def test_rank_tiles_batch_matches_per_sample(self):
+        rng = np.random.default_rng(4)
+        outputs = rng.normal(size=(6, 8))
+        leaves = rng.normal(size=(9, 8))
+        leaf_ids = [10 * i for i in range(9)]
+        batched = rank_tiles_batch(outputs, leaves, leaf_ids)
+        assert batched == [rank_tiles(out, leaves, leaf_ids) for out in outputs]
+
+    def test_rank_pois_batch_matches_per_sample(self):
+        rng = np.random.default_rng(5)
+        outputs = rng.normal(size=(4, 8))
+        table = rng.normal(size=(20, 8))
+        candidate_lists = [[3, 7, 1], [0, 19], [], list(range(20))]
+        batched = rank_pois_batch(outputs, table, candidate_lists)
+        expected = [
+            rank_pois(out, table[np.asarray(c, dtype=np.int64)], list(c)) if c else []
+            for out, c in zip(outputs, candidate_lists)
+        ]
+        assert batched == expected
+
+    def test_rank_pois_batch_stable_on_ties(self):
+        outputs = np.array([[1.0, 0.0]])
+        table = np.array([[2.0, 0.0], [2.0, 0.0], [0.0, 1.0]])
+        # both tied candidates keep their candidate-list order
+        assert rank_pois_batch(outputs, table, [[1, 0, 2]]) == [[1, 0, 2]]
