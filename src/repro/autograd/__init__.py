@@ -1,5 +1,6 @@
 """Reverse-mode autodiff engine (the PyTorch substitute for this repo)."""
 
+from .batching import gather_last, pad_stack
 from .functional import (
     conv2d,
     cosine_similarity,
@@ -34,6 +35,7 @@ __all__ = [
     "cosine_similarity",
     "cross_entropy",
     "dropout",
+    "gather_last",
     "gather_rows",
     "gradcheck",
     "is_grad_enabled",
@@ -44,6 +46,7 @@ __all__ = [
     "no_grad",
     "numerical_gradient",
     "ones",
+    "pad_stack",
     "softmax",
     "stack",
     "tensor",

@@ -1,0 +1,96 @@
+"""Differentiable batching primitives: pad, stack and gather.
+
+The vectorised inference path (PR 2) assembled its padded batches from
+detached ``.data`` arrays, which made ``(batch, seq, dim)`` encodes
+cheap but cut them off from the autograd graph — training had to fall
+back to per-sample forward passes.  The ops here close that gap: they
+build right-padded batch tensors *on* the graph, so one padded
+forward/backward trains a whole mini-batch.
+
+Design notes
+------------
+* ``pad_stack`` is the adjoint-of-slicing op: forward right-pads each
+  variable-length row block and stacks; backward slices each row's
+  gradient back out.  Padded positions receive no gradient by
+  construction (their adjoint is the empty slice).
+* ``gather_last`` picks one position per batch row (the "last real
+  step" gather used by RNN trunks and the fusion output).  Its
+  backward scatters into a zero tensor; the target positions are
+  unique per row, so no accumulation-order ambiguity exists.
+* Both ops respect :func:`~repro.autograd.tensor.no_grad`: under the
+  inference context they build plain constant tensors, exactly like
+  the detached helpers they replace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def pad_stack(
+    rows: Sequence[Optional[Tensor]],
+    width: int,
+    pad_to: Optional[int] = None,
+) -> Tensor:
+    """Right-pad variable-length row blocks and stack: ``(B, H_max, width)``.
+
+    ``rows[i]`` is a ``(H_i, width)`` tensor or ``None`` (treated as
+    ``H_i = 0``; its output row is all padding).  ``pad_to`` overrides
+    the padded length (default: ``max(H_i)``).  Gradients flow back to
+    each row's real positions only — the padded tail has an empty
+    adjoint.  Callers build the matching key-padding mask from the row
+    lengths (see :func:`repro.nn.key_padding_mask`).
+    """
+    counts = [0 if r is None else r.shape[0] for r in rows]
+    h_max = max(counts) if pad_to is None else pad_to
+    if pad_to is not None and max(counts, default=0) > pad_to:
+        raise ValueError(f"pad_to={pad_to} smaller than longest row {max(counts)}")
+    data = np.zeros((len(rows), h_max, width), dtype=np.float64)
+    parents: List[Tensor] = []
+    grad_fns = []
+    for i, (row, count) in enumerate(zip(rows, counts)):
+        if count == 0:
+            continue
+        if row.shape[1] != width:
+            raise ValueError(f"row {i} has width {row.shape[1]}, expected {width}")
+        data[i, :count] = row.data
+
+        def make_grad_fn(index: int, length: int):
+            def grad_fn(g: np.ndarray) -> np.ndarray:
+                return g[index, :length]
+
+            return grad_fn
+
+        parents.append(row)
+        grad_fns.append(make_grad_fn(i, count))
+    return Tensor._make(data, parents, grad_fns, "pad_stack")
+
+
+def gather_last(sequence: Tensor, lengths: Sequence[int]) -> Tensor:
+    """Pick position ``lengths[b] - 1`` from each row of ``(B, L, ...)``.
+
+    The standard "output at the real last step" gather for right-padded
+    batches.  Backward scatters the upstream gradient into a zero
+    array; each ``(b, lengths[b]-1)`` slot is distinct, so the scatter
+    is a plain assignment.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.min() < 1:
+        raise ValueError("gather_last needs lengths >= 1")
+    if lengths.max() > sequence.shape[1]:
+        raise ValueError("length exceeds the padded sequence dimension")
+    batch_index = np.arange(sequence.shape[0])
+    positions = lengths - 1
+    data = sequence.data[batch_index, positions]
+    shape = sequence.shape
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        out = np.zeros(shape, dtype=g.dtype)
+        out[batch_index, positions] = g
+        return out
+
+    return Tensor._make(data, (sequence,), (grad_fn,), "gather_last")

@@ -41,17 +41,28 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return Tensor._make(out, (x,), (grad_fn,), "log_softmax")
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean negative log-likelihood for integer class targets.
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Negative log-likelihood for integer class targets.
 
     ``logits`` has shape ``(batch, classes)``; ``targets`` is an integer
-    array of shape ``(batch,)``.
+    array of shape ``(batch,)``.  ``reduction`` is ``"mean"`` (the
+    historic default), ``"sum"`` (what a batched training loss needs so
+    it matches the summed per-sample losses), or ``"none"`` (the
+    per-sample ``(batch,)`` loss vector).
     """
     targets = np.asarray(targets, dtype=np.int64)
     log_probs = log_softmax(logits, axis=-1)
     batch = logits.shape[0]
     picked = log_probs[np.arange(batch), targets]
-    return -(picked.mean())
+    if reduction == "mean":
+        return -(picked.mean())
+    if reduction == "sum":
+        return -(picked.sum())
+    if reduction == "none":
+        return -picked
+    raise ValueError(f"unknown reduction {reduction!r}")
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
@@ -147,20 +158,33 @@ def conv2d(
     bias: Optional[Tensor] = None,
     stride: int = 1,
     padding: int = 0,
+    cols: Optional[np.ndarray] = None,
 ) -> Tensor:
     """2-D convolution via im2col.
 
     ``x``: ``(N, C, H, W)``; ``weight``: ``(O, C, K, K)``;
-    ``bias``: ``(O,)`` or ``None``.
+    ``bias``: ``(O,)`` or ``None``.  ``cols`` may carry a precomputed
+    ``im2col(x.data, ...)`` result: the unfolding depends only on the
+    input, so callers convolving a *static* input every step (the tile
+    imagery encoder re-embeds the same tile set each training batch)
+    can cache it and skip the unfold + copy.
     """
     n, c, h, w = x.shape
     o, c_w, kh, kw = weight.shape
     if c != c_w or kh != kw:
         raise ValueError("weight shape incompatible with input")
     kernel = kh
-    cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    if cols is None:
+        cols, out_h, out_w = im2col(x.data, kernel, stride, padding)
+    else:
+        out_h = (h + 2 * padding - kernel) // stride + 1
+        out_w = (w + 2 * padding - kernel) // stride + 1
+    # (o, k) @ (n, k, p) broadcasts the weight matrix over the batch and
+    # runs one BLAS gemm per image — numpy's einsum kernel for the same
+    # contraction is a naive loop and several times slower on this
+    # per-training-batch hot path (E_T is re-encoded every step).
     w_mat = weight.data.reshape(o, -1)
-    out = np.einsum("ok,nkp->nop", w_mat, cols)
+    out = np.matmul(w_mat, cols)
     if bias is not None:
         out = out + bias.data[None, :, None]
     out = out.reshape(n, o, out_h, out_w)
@@ -169,12 +193,14 @@ def conv2d(
 
     def grad_x(g: np.ndarray) -> np.ndarray:
         g_mat = g.reshape(n, o, out_h * out_w)
-        dcols = np.einsum("ok,nop->nkp", w_mat, g_mat)
+        dcols = np.matmul(w_mat.T, g_mat)
         return col2im(dcols, x_shape, kernel, stride, padding, out_h, out_w)
 
     def grad_w(g: np.ndarray) -> np.ndarray:
+        # batched (o, p) @ (p, k) gemms on transposed views — BLAS
+        # handles the swapped strides natively, so no 10+ MB copies
         g_mat = g.reshape(n, o, out_h * out_w)
-        dw = np.einsum("nop,nkp->ok", g_mat, cols)
+        dw = np.matmul(g_mat, np.swapaxes(cols, 1, 2)).sum(axis=0)
         return dw.reshape(weight.shape)
 
     parents = [x, weight]

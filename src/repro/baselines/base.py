@@ -14,6 +14,10 @@ All baselines conform to the serve-wide
   the default loops ``score``; sequential baselines with a batchable
   trunk override it on top of ``SequenceEmbedder.forward_batch``;
 * ``loss_sample(sample)``: cross-entropy against the true next POI;
+* ``loss_batch(samples)``: *summed* cross-entropy over one mini-batch
+  — the default (inherited from ``PredictorBase``) sums
+  ``loss_sample``; baselines with a batchable trunk (GRU, HMT-GRN)
+  override it with one padded differentiable pass;
 * ``predict(sample, *shared) -> PredictorResult`` /
   ``predict_batch(samples, *shared)``: full ranked POI list(s)
   (shared state is empty for baselines and ignored);
@@ -31,7 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, cross_entropy, no_grad
+from ..autograd import Tensor, cross_entropy, gather_last, no_grad
 from ..data.trajectory import PredictionSample
 from ..nn import Embedding, Module
 from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
@@ -169,8 +173,11 @@ def last_hidden_batch(
     ``lengths - 1`` per sample — exact because the RNN is causal:
     hidden states keep evolving through padded steps for shorter
     samples, but the gathered position was computed from real inputs
-    only.  The gather detaches from the autograd graph, so this is an
-    inference-only path (``score_batch``/``predict_batch``).
+    only.  The gather (:func:`repro.autograd.gather_last`) stays on
+    the autograd graph, so the same trunk serves inference
+    (``score_batch``/``predict_batch`` run it under ``no_grad``) and
+    the batched training loss (``loss_batch``); padded steps sit past
+    the gathered position and therefore receive no gradient.
     """
     sequence, lengths = embedder.forward_batch(samples)
     if lengths.min() < 1:
@@ -178,4 +185,4 @@ def last_hidden_batch(
         # gather here would silently rank from pad-token hidden states
         raise ValueError("last_hidden_batch needs non-empty prefixes")
     outputs, _ = rnn(sequence)  # (B, L_max, hidden)
-    return Tensor(outputs.data[np.arange(len(samples)), lengths - 1])
+    return gather_last(outputs, lengths)

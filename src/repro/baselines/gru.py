@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, cross_entropy
 from ..data.trajectory import PredictionSample
 from ..nn import GRU, Linear
 from ..utils.rng import default_rng
@@ -38,3 +38,9 @@ class GRUBaseline(NextPOIBaseline):
     def score_batch(self, samples: Sequence[PredictionSample]) -> np.ndarray:
         """Vectorised scoring: padded batch through one GRU unroll."""
         return self.head(last_hidden_batch(self.embedder, self.rnn, samples)).data
+
+    def loss_batch(self, samples: Sequence[PredictionSample], *shared) -> Tensor:
+        """Summed cross-entropy via one differentiable padded unroll."""
+        hidden = last_hidden_batch(self.embedder, self.rnn, samples)
+        targets = np.asarray([s.target.poi_id for s in samples], dtype=np.int64)
+        return cross_entropy(self.head(hidden), targets, reduction="sum")

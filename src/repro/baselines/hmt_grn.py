@@ -88,6 +88,18 @@ class HMTGRN(NextPOIBaseline):
         )
         return loss
 
+    def loss_batch(self, samples: Sequence[PredictionSample], *shared) -> Tensor:
+        """Summed multi-task loss via one differentiable padded unroll."""
+        hidden = last_hidden_batch(self.embedder, self.rnn, samples)
+        targets = np.asarray([s.target.poi_id for s in samples], dtype=np.int64)
+        loss = cross_entropy(self.poi_head(hidden), targets, reduction="sum")
+        loss = loss + cross_entropy(
+            self.coarse_head(hidden), self.coarse_of_poi[targets], reduction="sum"
+        )
+        return loss + cross_entropy(
+            self.fine_head(hidden), self.fine_of_poi[targets], reduction="sum"
+        )
+
     def _beam_rank(
         self,
         poi_logits: np.ndarray,

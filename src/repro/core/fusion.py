@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor, where
+from ..autograd import Tensor, gather_last, where
 from ..nn import (
     Dropout,
     LayerNorm,
@@ -123,9 +123,11 @@ class FusionModule(Module):
         ``lengths`` gives each sample's real prefix length; the output
         row for sample b is position ``lengths[b] - 1`` of the final
         sequence — the same "last position" rule as :meth:`forward`.
+        Fully differentiable: under gradient tracking the gather
+        scatters upstream gradients back to each sample's last real
+        position, so the batched training loss flows through here.
         """
         out = sequence
         for block in self.blocks:
             out = block.forward_batch(out, history, history_mask)
-        last = np.asarray(lengths, dtype=np.int64) - 1
-        return out[np.arange(out.shape[0]), last]
+        return gather_last(out, lengths)

@@ -99,3 +99,40 @@ class HGATEncoder(Module):
         for layer in self.layers:
             h = layer(h, masks)
         return h
+
+    def forward_packed(
+        self, masks_list: List[Dict[str, np.ndarray]], h0: Tensor, sizes: List[int]
+    ) -> Tensor:
+        """One pass over several graphs packed block-diagonally.
+
+        ``h0`` stacks the graphs' initial node embeddings (graph i's
+        rows occupy ``[offsets[i], offsets[i+1])``); ``masks_list[i]``
+        is graph i's :meth:`build_masks` result.  Off-diagonal blocks
+        stay fully masked, so no attention crosses graph boundaries
+        and row values match running :meth:`forward` per graph — this
+        is the standard disjoint-union batching trick for heterogeneous
+        graphs, and it collapses a Python-loop of per-graph passes into
+        one dense pass per layer (the per-training-batch hot path).
+
+        Callers must not pack edge-free graphs: per-graph
+        :meth:`forward` short-circuits them to the identity, while a
+        packed layer sums (empty) messages for every row and would
+        zero them out.  ``TSPNRA._history_knowledge_batch`` filters
+        such graphs (reachable via the ``drop_edge_type`` ablations)
+        before packing.
+        """
+        if len(masks_list) != len(sizes):
+            raise ValueError("masks_list and sizes disagree")
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        n = int(offsets[-1])
+        if h0.shape[0] != n:
+            raise ValueError(f"h0 has {h0.shape[0]} rows, sizes sum to {n}")
+        masks = {kind: np.ones((n, n), dtype=bool) for kind in EDGE_TYPES}
+        for i, graph_masks in enumerate(masks_list):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            for kind in EDGE_TYPES:
+                masks[kind][lo:hi, lo:hi] = graph_masks[kind]
+        h = h0
+        for layer in self.layers:
+            h = layer(h, masks)
+        return h

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, concat, no_grad
+from ..autograd import Tensor, concat, no_grad, pad_stack
 from ..data.trajectory import PredictionSample
 from ..graphs import QRPGraph, strip_edges
 from ..nn import Module, key_padding_mask
@@ -34,7 +34,7 @@ from .config import TSPNRAConfig
 from .encoders import SpatialEncoder, TemporalEncoder
 from .fusion import FusionModule
 from .hgat import HGATEncoder
-from .loss import arcface_loss, combined_loss
+from .loss import arcface_loss, arcface_loss_batch, combined_loss
 from .poi_embedding import POIEmbedder
 from .tile_embedding import ImageTileEmbedder, TableTileEmbedder
 from .two_step import (
@@ -49,6 +49,13 @@ from .two_step import (
 
 # The historic TSPN-RA-only result type is now the serve-wide one.
 PredictionResult = PredictorResult
+
+# Upper bound on the node count of one packed block-diagonal HGAT pass:
+# dense (N, N) attention masks grow quadratically, so very large
+# inference chunks (the evaluator feeds 128 samples at a time) are
+# split into several packs instead of one huge one.  Training batches
+# (size 8) always fit in a single pack.
+MAX_PACKED_NODES = 512
 
 
 class TSPNRA(Module, PredictorBase):
@@ -238,6 +245,105 @@ class TSPNRA(Module, PredictorBase):
         n_tiles = len(qrp.tile_refs)
         return knowledge[0:n_tiles], knowledge[n_tiles:]
 
+    def _history_knowledge_batch(
+        self,
+        samples: Sequence[PredictionSample],
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+    ):
+        """HGAT knowledge for every *unique* history, in packed passes.
+
+        Returns ``{history_key: (tile rows, poi rows)}`` (``(None,
+        None)`` for empty histories/graphs).  Unique QR-P graphs are
+        packed block-diagonally and run through
+        :meth:`HGATEncoder.forward_packed` — two embedding gathers,
+        one permutation and one dense pass per pack replace the
+        per-graph Python loop, for inference and the batched training
+        loss alike.  Packs are capped at :data:`MAX_PACKED_NODES`
+        total nodes so large evaluation chunks never materialise a
+        huge dense ``(N, N)`` mask.
+        """
+        knowledge = {}
+        to_pack: List[Tuple[Tuple, QRPGraph, dict]] = []
+        seen = set()
+        for sample in samples:
+            key = sample.history_key
+            if key in knowledge or key in seen:
+                continue
+            if not (self.config.use_graph and sample.history):
+                knowledge[key] = (None, None)
+                continue
+            qrp, masks = self._qrp_for(sample)
+            if qrp.is_empty:
+                knowledge[key] = (None, None)
+            elif not any(qrp.graph.edges[kind] for kind in qrp.graph.edges):
+                # Edge-free graph (possible under the drop_edge_type
+                # ablations): the per-sample HGAT short-circuits to the
+                # identity, so knowledge is just the initial
+                # embeddings.  Packing it instead would zero its rows
+                # (the packed layer sums messages for every row).
+                knowledge[key] = (
+                    tile_embeddings[np.asarray(qrp.tile_refs, dtype=np.int64)],
+                    poi_embeddings[np.asarray(qrp.poi_refs, dtype=np.int64)],
+                )
+            else:
+                seen.add(key)
+                to_pack.append((key, qrp, masks))
+        # greedy size-capped packs: dense masks are (N, N), so bound N
+        group: List[Tuple[Tuple, QRPGraph, dict]] = []
+        group_nodes = 0
+        for entry in to_pack:
+            nodes = entry[1].graph.num_nodes
+            if group and group_nodes + nodes > MAX_PACKED_NODES:
+                self._run_packed(group, knowledge, tile_embeddings, poi_embeddings)
+                group, group_nodes = [], 0
+            group.append(entry)
+            group_nodes += nodes
+        if group:
+            self._run_packed(group, knowledge, tile_embeddings, poi_embeddings)
+        return knowledge
+
+    def _run_packed(self, packed, knowledge, tile_embeddings, poi_embeddings):
+        """One block-diagonal HGAT pass; fills ``knowledge`` in place."""
+        tile_counts = [len(qrp.tile_refs) for _, qrp, _ in packed]
+        poi_counts = [len(qrp.poi_refs) for _, qrp, _ in packed]
+        all_tile_refs = np.concatenate(
+            [np.asarray(qrp.tile_refs, dtype=np.int64) for _, qrp, _ in packed]
+        )
+        all_poi_refs = np.concatenate(
+            [np.asarray(qrp.poi_refs, dtype=np.int64) for _, qrp, _ in packed]
+        )
+        # Stacked gathers come out [all tiles..., all pois...]; the
+        # permutation re-blocks them per graph (tiles then pois), the
+        # node order each graph's masks expect.
+        total_tiles = int(sum(tile_counts))
+        tile_offsets = np.concatenate([[0], np.cumsum(tile_counts)])
+        poi_offsets = np.concatenate([[0], np.cumsum(poi_counts)]) + total_tiles
+        perm = np.concatenate(
+            [
+                np.concatenate(
+                    [
+                        np.arange(tile_offsets[i], tile_offsets[i + 1]),
+                        np.arange(poi_offsets[i], poi_offsets[i + 1]),
+                    ]
+                )
+                for i in range(len(packed))
+            ]
+        ).astype(np.int64)
+        h0 = concat(
+            [tile_embeddings[all_tile_refs], poi_embeddings[all_poi_refs]], axis=0
+        )[perm]
+        sizes = [t + p for t, p in zip(tile_counts, poi_counts)]
+        out = self.hgat.forward_packed([m for _, _, m in packed], h0, sizes)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        for i, (key, qrp, _) in enumerate(packed):
+            lo = int(offsets[i])
+            n_tiles = tile_counts[i]
+            knowledge[key] = (
+                out[lo : lo + n_tiles],
+                out[lo + n_tiles : int(offsets[i + 1])],
+            )
+
     def encode_batch(
         self,
         samples: Sequence[PredictionSample],
@@ -246,16 +352,19 @@ class TSPNRA(Module, PredictorBase):
     ) -> Tuple[Tensor, Tensor]:
         """Fused (h_out_tau, h_out_p) for a whole batch: ``(B, dim)`` each.
 
-        The vectorised inference path: prefixes are right-padded to the
-        batch maximum and run through the spatial/temporal encoders and
-        both fusion stacks as one ``(batch, seq, dim)`` tensor (causal
-        masking keeps padded positions out of every real position's
-        receptive field).  QR-P graph knowledge is still computed per
-        *unique* history — graphs are tiny, heterogeneous, and shared
-        by every sample of a trajectory — then right-padded and masked
-        for the batched cross attention.  Padding is assembled outside
-        the autograd graph, so this path is inference-only; training
-        keeps the per-sample :meth:`encode`.
+        The vectorised path shared by inference *and* training:
+        prefixes are right-padded to the batch maximum and run through
+        the spatial/temporal encoders and both fusion stacks as one
+        ``(batch, seq, dim)`` tensor (causal masking keeps padded
+        positions out of every real position's receptive field).  QR-P
+        graph knowledge is still computed per *unique* history —
+        graphs are tiny, heterogeneous, and shared by every sample of
+        a trajectory — then right-padded on the autograd graph
+        (:func:`repro.autograd.pad_stack`) and masked for the batched
+        cross attention.  Under gradient tracking every op here is
+        differentiable, so :meth:`loss_batch` backpropagates one
+        padded mini-batch through the whole encode; under ``no_grad``
+        it behaves exactly like the PR 2 inference path.
         """
         batch = len(samples)
         lengths = np.asarray([len(s.prefix) for s in samples], dtype=np.int64)
@@ -281,23 +390,18 @@ class TSPNRA(Module, PredictorBase):
         history_tiles = history_pois = None
         tile_mask = poi_mask = None
         if self.config.use_graph:
-            knowledge = {}  # history_key -> (tile rows, poi rows)
-            for sample in samples:
-                if sample.history_key not in knowledge:
-                    knowledge[sample.history_key] = self._history_knowledge(
-                        sample, tile_embeddings, poi_embeddings
-                    )
+            knowledge = self._history_knowledge_batch(
+                samples, tile_embeddings, poi_embeddings
+            )
             per_sample = [knowledge[s.history_key] for s in samples]
             n_tiles = [0 if k[0] is None else k[0].shape[0] for k in per_sample]
             n_pois = [0 if k[1] is None else k[1].shape[0] for k in per_sample]
             if max(n_tiles, default=0) > 0:
-                history_tiles, tile_mask = _pad_knowledge(
-                    [k[0] for k in per_sample], n_tiles, self.config.dim
-                )
+                history_tiles = pad_stack([k[0] for k in per_sample], self.config.dim)
+                tile_mask = key_padding_mask(n_tiles, max(n_tiles))
             if max(n_pois, default=0) > 0:
-                history_pois, poi_mask = _pad_knowledge(
-                    [k[1] for k in per_sample], n_pois, self.config.dim
-                )
+                history_pois = pad_stack([k[1] for k in per_sample], self.config.dim)
+                poi_mask = key_padding_mask(n_pois, max(n_pois))
 
         tile_output = self.fusion_tile.forward_batch(
             tile_sequence, lengths, history_tiles, tile_mask
@@ -310,6 +414,32 @@ class TSPNRA(Module, PredictorBase):
     # ------------------------------------------------------------------
     # training loss
     # ------------------------------------------------------------------
+    def _training_candidates(
+        self, target_poi: int, tile_output_data: np.ndarray, leaf_data: np.ndarray
+    ) -> List[int]:
+        """Step-two candidate POIs for one training sample.
+
+        Shared by :meth:`loss_sample` and :meth:`loss_batch` so the two
+        paths can never drift apart — they must select identical
+        candidate sets (and, on the no-two-step path, consume
+        ``_negative_rng`` in the same per-sample order) for the
+        batched/per-sample gradient equivalence to hold.
+        """
+        if self.config.use_two_step:
+            top = select_tiles(
+                tile_output_data, leaf_data, self._leaf_ids, self.config.top_k
+            )
+            candidates = candidate_pois(self.tile_system, top)
+            if target_poi not in candidates:
+                candidates.append(target_poi)
+            return candidates
+        negatives = self._negative_rng.choice(
+            self.num_pois,
+            size=min(self.config.negatives_no_two_step, self.num_pois - 1),
+            replace=False,
+        )
+        return [target_poi] + [int(n) for n in negatives if n != target_poi]
+
     def loss_sample(
         self, sample: PredictionSample, tile_embeddings: Tensor, poi_embeddings: Tensor
     ) -> Tensor:
@@ -328,20 +458,9 @@ class TSPNRA(Module, PredictorBase):
             margin=config.loss_margin,
         )
 
-        if config.use_two_step:
-            top = select_tiles(
-                tile_output.data, leaf_embeddings.data, self._leaf_ids, config.top_k
-            )
-            candidates = candidate_pois(self.tile_system, top)
-            if target_poi not in candidates:
-                candidates.append(target_poi)
-        else:
-            negatives = self._negative_rng.choice(
-                self.num_pois,
-                size=min(config.negatives_no_two_step, self.num_pois - 1),
-                replace=False,
-            )
-            candidates = [target_poi] + [int(n) for n in negatives if n != target_poi]
+        candidates = self._training_candidates(
+            target_poi, tile_output.data, leaf_embeddings.data
+        )
         candidate_array = np.asarray(candidates, dtype=np.int64)
         target_position = int(np.nonzero(candidate_array == target_poi)[0][0])
         poi_loss = arcface_loss(
@@ -352,6 +471,75 @@ class TSPNRA(Module, PredictorBase):
             margin=config.loss_margin,
         )
         return combined_loss(tile_loss, poi_loss, beta=config.beta)
+
+    def loss_batch(
+        self,
+        samples: Sequence[PredictionSample],
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+    ) -> Tensor:
+        """Summed Eq. 8 loss for a whole mini-batch in one forward pass.
+
+        The training counterpart of :meth:`predict_batch`: one padded
+        :meth:`encode_batch` (differentiable end to end, including the
+        pad/mask/gather ops), then both ArcFace heads vectorised over
+        the batch — the tile head against the shared leaf table, the
+        POI head against right-padded per-sample candidate sets with
+        invalid slots masked out of the softmax.  Returns
+        ``sum_i loss_sample(samples[i])`` up to floating-point
+        accumulation order; the trainer divides by the batch size,
+        exactly as it does on the per-sample path.
+        """
+        if not samples:
+            raise ValueError("loss_batch needs a non-empty batch")
+        config = self.config
+        batch = len(samples)
+        tile_outputs, poi_outputs = self.encode_batch(
+            samples, tile_embeddings, poi_embeddings
+        )
+        leaf_embeddings = tile_embeddings[self._leaf_array]
+
+        target_pois = np.asarray([s.target.poi_id for s in samples], dtype=np.int64)
+        target_leaves = self._poi_leaf_table()[target_pois]
+        leaf_positions = np.asarray(
+            [self._leaf_index[int(leaf)] for leaf in target_leaves], dtype=np.int64
+        )
+        tile_losses = arcface_loss_batch(
+            tile_outputs,
+            leaf_embeddings,
+            leaf_positions,
+            scale=config.loss_scale,
+            margin=config.loss_margin,
+        )
+
+        # Candidate sets are data extraction (no gradients) and must
+        # mirror the per-sample path exactly, sample by sample.
+        candidate_lists = [
+            self._training_candidates(
+                int(target_pois[i]), tile_outputs.data[i], leaf_embeddings.data
+            )
+            for i in range(batch)
+        ]
+
+        counts = np.asarray([len(c) for c in candidate_lists], dtype=np.int64)
+        c_max = int(counts.max())
+        candidate_ids = np.zeros((batch, c_max), dtype=np.int64)
+        target_positions = np.zeros(batch, dtype=np.int64)
+        for i, candidates in enumerate(candidate_lists):
+            ids = np.asarray(candidates, dtype=np.int64)
+            candidate_ids[i, : len(ids)] = ids
+            target_positions[i] = int(np.nonzero(ids == target_pois[i])[0][0])
+        valid = ~key_padding_mask(counts, c_max)
+
+        poi_losses = arcface_loss_batch(
+            poi_outputs,
+            poi_embeddings[candidate_ids],
+            target_positions,
+            scale=config.loss_scale,
+            margin=config.loss_margin,
+            valid=valid,
+        )
+        return (tile_losses * config.beta + poi_losses).sum()
 
     # ------------------------------------------------------------------
     # inference
@@ -459,19 +647,3 @@ class TSPNRA(Module, PredictorBase):
 
     def clear_graph_cache(self) -> None:
         self._graph_cache.clear()
-
-
-def _pad_knowledge(rows: List[Optional[Tensor]], counts: List[int], dim: int):
-    """Right-pad per-sample knowledge rows into ``(B, H_max, dim)``.
-
-    Returns the padded tensor plus the boolean ``(B, H_max)``
-    key-padding mask (True at padded rows; all-True for samples without
-    knowledge).  Assembled from detached data — inference-only, like
-    the caller.
-    """
-    h_max = max(counts)
-    padded = np.zeros((len(rows), h_max, dim), dtype=np.float64)
-    for i, (tensor, count) in enumerate(zip(rows, counts)):
-        if count:
-            padded[i, :count] = tensor.data
-    return Tensor(padded), key_padding_mask(counts, h_max)

@@ -11,11 +11,12 @@ swaps the CNN for a plain learnable per-tile table.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor, l2_normalize
+from ..autograd import Tensor, conv2d, l2_normalize
+from ..autograd.functional import im2col
 from ..imagery import ImageryCatalog
 from ..nn import Conv2d, Embedding, Linear, Module
 from ..utils.rng import default_rng
@@ -47,6 +48,11 @@ class ImageTileEmbedder(Module):
         self.conv3 = Conv2d(c2, c3, kernel_size=3, stride=2, padding=1, rng=rng)
         flat = c3 * (resolution // 8) ** 2
         self.project = Linear(flat, dim, rng=rng)
+        # static-input fast path for all_embeddings: the full-tile image
+        # stack and its first-layer im2col columns never change, so the
+        # per-training-batch re-encode of E_T skips both
+        self._all_images: Optional[Tensor] = None
+        self._all_cols: Optional[np.ndarray] = None
 
     def forward(self, tile_ids: Sequence[int]) -> Tensor:
         """Embeddings for a list of tile ids, shape ``(len(ids), dim)``.
@@ -58,8 +64,13 @@ class ImageTileEmbedder(Module):
         cosine ranking over tiles is ill-conditioned.
         """
         images = self.catalog.images_for(tile_ids)  # (n, 3, R, R)
-        x = Tensor(images)
-        x = self.conv1(x).relu()
+        return self._encode(Tensor(images), cols=None)
+
+    def _encode(self, x: Tensor, cols) -> Tensor:
+        x = conv2d(
+            x, self.conv1.weight, self.conv1.bias,
+            stride=self.conv1.stride, padding=self.conv1.padding, cols=cols,
+        ).relu()
         x = self.conv2(x).relu()
         x = self.conv3(x).relu()
         x = x.reshape(x.shape[0], -1)
@@ -70,7 +81,13 @@ class ImageTileEmbedder(Module):
 
     def all_embeddings(self) -> Tensor:
         """E_T for every tile (leaves and internal nodes)."""
-        return self.forward(list(range(self.num_tiles)))
+        if self._all_images is None:
+            images = self.catalog.images_for(list(range(self.num_tiles)))
+            self._all_images = Tensor(images)
+            self._all_cols, _, _ = im2col(
+                images, self.conv1.weight.shape[-1], self.conv1.stride, self.conv1.padding
+            )
+        return self._encode(self._all_images, cols=self._all_cols)
 
 
 class TableTileEmbedder(Module):

@@ -6,13 +6,15 @@ attention-based baselines (DeepMove, STAN, STiSAN, SAE-NAD).
 
 Sequences come in two shapes:
 
-* unbatched ``(length, dim)`` — the training loop iterates
-  trajectories, which matches the paper's small batch sizes and keeps
-  variable-length handling trivial;
-* batched ``(batch, length, dim)`` — the vectorised inference path
-  pads prefixes to a common length and masks the padding (the
-  MobTCast-style padded-batch formulation).  :func:`key_padding_mask`
-  builds the standard right-padding mask from per-sample lengths.
+* unbatched ``(length, dim)`` — the per-sample research loop (and the
+  trainer's ``use_batched=False`` escape hatch);
+* batched ``(batch, length, dim)`` — the vectorised path shared by
+  inference and the batched training loss: prefixes are padded to a
+  common length and the padding masked (the MobTCast-style
+  padded-batch formulation).  :func:`key_padding_mask` builds the
+  standard right-padding mask from per-sample lengths; every op is
+  differentiable, so gradients flow around (never through) the masked
+  positions.
 """
 
 from __future__ import annotations

@@ -156,6 +156,26 @@ class PredictorBase:
     def score_candidates(self, sample, candidate_ids, *shared) -> np.ndarray:
         raise NotImplementedError
 
+    def loss_batch(self, samples, *shared):
+        """Summed training loss for one mini-batch.
+
+        The trainer's batched entry point.  This default sums
+        ``loss_sample`` sequentially — same value, same gradients, no
+        speedup — so every gradient-trained model is batch-trainable;
+        models with a vectorised trunk override it with one padded
+        forward pass (TSPN-RA's ``encode_batch``, the batched RNN
+        trunks of the sequential baselines).  Overrides must return the
+        *sum* (not mean) of the per-sample losses so the trainer's
+        ``1/len(batch)`` scaling matches the per-sample path.
+        """
+        total = None
+        for sample in samples:
+            loss = self.loss_sample(sample, *shared)
+            total = loss if total is None else total + loss
+        if total is None:
+            raise ValueError("loss_batch needs a non-empty batch")
+        return total
+
     def top_k(self, sample, k: int, *shared) -> List[int]:
         return self.predict(sample, *shared).top_k(k)
 

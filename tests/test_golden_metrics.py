@@ -1,0 +1,76 @@
+"""Golden-metrics regression test for the seeded quick-profile eval.
+
+Freezes the full train+evaluate pipeline output (Recall@K / NDCG@K /
+MRR with the PR 2 ``num_pois + 1`` miss-rank semantics, batched
+trainer) into ``tests/golden/quick_nyc_metrics.json``.  Ranks are
+integers, so the metrics are exact rationals: any rank-semantics or
+trainer regression shifts them far beyond the 1e-9 gate and fails
+loudly, while benign refactors reproduce them exactly.
+
+To regenerate after an *intentional* semantics change::
+
+    PYTHONPATH=src python tests/test_golden_metrics.py
+
+which rewrites the fixture in place (review the metric deltas in the
+diff and justify them in the PR).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_profile, prepare, run_one
+from repro.utils.rng import set_seed
+
+GOLDEN = Path(__file__).parent / "golden" / "quick_nyc_metrics.json"
+
+
+def _current_metrics():
+    # Dropout draws from the process-wide default generator; pin it so
+    # the run is reproducible regardless of which tests ran before.
+    set_seed(0)
+    profile = get_profile("quick")
+    data = prepare("nyc", profile, seed=profile.seed)
+    metrics, _ = run_one(
+        "TSPN-RA", data, profile, seed=profile.seed, use_batched=True
+    )
+    return metrics, profile
+
+
+@pytest.mark.slow
+def test_quick_profile_metrics_match_golden():
+    golden = json.loads(GOLDEN.read_text())
+    metrics, profile = _current_metrics()
+    assert golden["preset"] == "nyc" and golden["profile"] == profile.name
+    assert set(metrics) == set(golden["metrics"])
+    for name, frozen in golden["metrics"].items():
+        assert metrics[name] == pytest.approx(frozen, abs=1e-9), (
+            f"{name} drifted from the golden fixture: "
+            f"{metrics[name]!r} != {frozen!r} — if intentional, regenerate "
+            f"via `PYTHONPATH=src python {Path(__file__).name}`"
+        )
+
+
+def regenerate():
+    metrics, profile = _current_metrics()
+    payload = {
+        "description": (
+            "Seeded quick-profile TSPN-RA eval on the synthetic NYC preset, "
+            "batched trainer (use_batched=True), PR 2 miss-rank semantics "
+            "(absent target ranks num_pois + 1). Regenerate with "
+            "tests/test_golden_metrics.py::regenerate if semantics change "
+            "intentionally."
+        ),
+        "preset": "nyc",
+        "profile": profile.name,
+        "seed": profile.seed,
+        "metrics": metrics,
+    }
+    GOLDEN.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"regenerated {GOLDEN}")
+    print(json.dumps(metrics, indent=2))
+
+
+if __name__ == "__main__":
+    regenerate()
