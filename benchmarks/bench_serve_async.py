@@ -1,0 +1,184 @@
+"""Async serving under load: closed-loop generator — BENCH_serve_async.
+
+Seeds the BENCH trajectory for the ``repro.serve.server`` runtime.
+A *closed-loop* load generator (each client thread keeps exactly one
+request outstanding: submit, wait, repeat) drives an in-process
+:class:`~repro.serve.InferenceServer` at several concurrency levels
+under two batching configurations:
+
+* **serial** — ``workers=1, max_batch_size=1``: the per-request
+  baseline every client-facing latency number in the related systems
+  (MobTCast, SANST) is reported against; concurrency only queues.
+* **batched** — ``max_batch_size=16, max_wait_ms=4``: the dynamic
+  micro-batching scheduler coalesces concurrent clients into one
+  vectorised ``predict_batch`` pass.
+
+Per (config, concurrency) cell the run records sustained samples/sec
+and end-to-end per-request latency percentiles (p50/p95/p99, enqueue
+to completion — queueing + batching delay + inference).  The
+acceptance gate asserts the micro-batched server sustains >= 2x the
+serial samples/sec at the highest concurrency.  Alongside the
+human-readable table the run emits
+``benchmarks/results/BENCH_serve_async.json``.  Run standalone with
+``PYTHONPATH=src python benchmarks/bench_serve_async.py``
+(the CI ``serve-smoke`` job does exactly that and uploads the JSON).
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_table, get_profile, prepare, run_one
+from repro.serve import InferenceServer, ServerConfig, interpolated_percentile
+
+pytestmark = pytest.mark.slow
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CONFIGS = {
+    "serial": ServerConfig(workers=1, max_batch_size=1, max_wait_ms=0.0, max_queue=4096),
+    "batched": ServerConfig(workers=1, max_batch_size=16, max_wait_ms=4.0, max_queue=4096),
+}
+CONCURRENCY_LEVELS = (4, 16)
+REQUESTS_PER_CLIENT = 24
+WARMUP_REQUESTS = 8
+
+
+def _closed_loop(server, samples, clients, requests_per_client):
+    """Drive the server with ``clients`` synchronous request loops.
+
+    Closed loop: offered load adapts to service rate (each client has
+    one request in flight), so throughput measures sustainable
+    capacity rather than queue growth.
+    """
+    latencies = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index):
+        mine = []
+        barrier.wait()  # line up so every client offers load at once
+        for j in range(requests_per_client):
+            sample = samples[(index + j * clients) % len(samples)]
+            start = time.perf_counter()
+            server.predict(sample, timeout=60.0)
+            mine.append(time.perf_counter() - start)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    total = clients * requests_per_client
+    millis = sorted(1000.0 * s for s in latencies)
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_seconds": wall,
+        "sps": total / wall if wall > 0 else float("inf"),
+        **{f"p{p}_ms": interpolated_percentile(millis, p) for p in (50, 95, 99)},
+    }
+
+
+def run_bench(profile=None, save_report=None):
+    profile = (profile or get_profile("quick")).smaller(0.5)
+    data = prepare("nyc", profile)
+    _, model = run_one("TSPN-RA", data, profile)
+    samples = data.splits.test[:64]
+
+    cells = []
+    for config_name, config in CONFIGS.items():
+        for clients in CONCURRENCY_LEVELS:
+            server = InferenceServer(model, config=config).start()
+            try:
+                _closed_loop(server, samples, clients=2, requests_per_client=WARMUP_REQUESTS)
+                cell = _closed_loop(server, samples, clients, REQUESTS_PER_CLIENT)
+            finally:
+                server.stop(drain=True)
+            cell = {"config": config_name, **cell}
+            cells.append(cell)
+            print(
+                f"{config_name:8s} clients={clients:3d}  "
+                f"{cell['sps']:8.1f} samples/s  p50 {cell['p50_ms']:6.2f} ms  "
+                f"p99 {cell['p99_ms']:6.2f} ms"
+            )
+
+    top = CONCURRENCY_LEVELS[-1]
+    serial_sps = next(
+        c["sps"] for c in cells if c["config"] == "serial" and c["clients"] == top
+    )
+    batched_sps = next(
+        c["sps"] for c in cells if c["config"] == "batched" and c["clients"] == top
+    )
+    speedup = batched_sps / serial_sps if serial_sps > 0 else float("inf")
+
+    rows = [
+        [
+            cell["config"],
+            str(cell["clients"]),
+            f"{cell['sps']:9.1f}",
+            f"{cell['p50_ms']:8.2f}",
+            f"{cell['p95_ms']:8.2f}",
+            f"{cell['p99_ms']:8.2f}",
+        ]
+        for cell in cells
+    ]
+    table = format_table(
+        ["Config", "Clients", "Samples/s", "p50 ms", "p95 ms", "p99 ms"],
+        rows,
+        title=(
+            "Async serving — serial vs micro-batched under closed-loop load "
+            f"(NYC, {speedup:.2f}x at {top} clients)"
+        ),
+    )
+    if save_report is not None:
+        save_report("serve_async", table)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "serve_async.txt").write_text(table + "\n")
+        print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trajectory_point = {
+        "bench": "serve_async",
+        "dataset": "nyc",
+        "configs": {
+            name: {
+                "workers": config.workers,
+                "max_batch_size": config.max_batch_size,
+                "max_wait_ms": config.max_wait_ms,
+            }
+            for name, config in CONFIGS.items()
+        },
+        "concurrency_levels": list(CONCURRENCY_LEVELS),
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "results": [
+            {key: (round(value, 4) if isinstance(value, float) else value)
+             for key, value in cell.items()}
+            for cell in cells
+        ],
+        "batched_speedup_at_top_load": round(speedup, 4),
+    }
+    out = RESULTS_DIR / "BENCH_serve_async.json"
+    out.write_text(json.dumps(trajectory_point, indent=2) + "\n")
+    print(f"[BENCH trajectory point saved to {out}]")
+
+    assert speedup >= 2.0, trajectory_point
+    return trajectory_point
+
+
+def bench_serve_async(profile, save_report):
+    run_bench(profile=profile, save_report=save_report)
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -1,0 +1,109 @@
+"""HTTP serving smoke: start the server, hit it concurrently, verify.
+
+The CI ``serve-smoke`` job runs this standalone: it trains the quick
+NYC profile (scaled down), starts the full serving stack —
+:class:`~repro.serve.InferenceServer` worker pool behind the
+:class:`~repro.serve.HttpFrontend` on an ephemeral port — then issues
+a handful of concurrent ``/predict`` and ``/recommend`` requests plus
+``/healthz`` and ``/stats`` reads, asserting every response is a 200
+with well-formed JSON.  It exercises exactly the path a deployment
+would: real sockets, real concurrent connections, real micro-batches.
+
+Run standalone with
+``PYTHONPATH=src python benchmarks/smoke_serve_http.py``.
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro.experiments import get_profile, prepare, run_one
+from repro.serve import HttpFrontend, InferenceServer, ServerConfig
+
+CONCURRENT_CLIENTS = 8
+REQUESTS_PER_CLIENT = 4
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def main() -> None:
+    profile = get_profile("quick").smaller(0.5)
+    data = prepare("nyc", profile)
+    _, model = run_one("TSPN-RA", data, profile)
+    samples = data.splits.test[:CONCURRENT_CLIENTS * REQUESTS_PER_CLIENT]
+
+    config = ServerConfig(workers=2, max_batch_size=8, max_wait_ms=4.0)
+    with InferenceServer(model, config=config) as server:
+        with HttpFrontend(server, port=0) as front:
+            status, health = _get(front.url + "/healthz")
+            assert status == 200 and health["status"] == "ok", health
+
+            failures = []
+
+            def client(index):
+                try:
+                    for j in range(REQUESTS_PER_CLIENT):
+                        sample = samples[(index * REQUESTS_PER_CLIENT + j) % len(samples)]
+                        payload = {
+                            "user_id": sample.user_id,
+                            "prefix": [
+                                {"poi_id": v.poi_id, "timestamp": v.timestamp}
+                                for v in sample.prefix
+                            ],
+                            "history": [
+                                [
+                                    {"poi_id": v.poi_id, "timestamp": v.timestamp}
+                                    for v in trajectory.visits
+                                ]
+                                for trajectory in sample.history
+                            ],
+                            "k": 5,
+                        }
+                        endpoint = "/predict" if j % 2 == 0 else "/recommend"
+                        status, body = _post(front.url + endpoint, payload)
+                        assert status == 200, (endpoint, status, body)
+                        key = "top_pois" if endpoint == "/predict" else "recommendations"
+                        assert isinstance(body[key], list) and len(body[key]) == 5, body
+                        assert all(isinstance(p, int) for p in body[key]), body
+                except Exception as error:  # surface per-client failures
+                    failures.append((index, repr(error)))
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(CONCURRENT_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures, failures
+
+            status, stats = _get(front.url + "/stats")
+            assert status == 200, stats
+            expected = CONCURRENT_CLIENTS * REQUESTS_PER_CLIENT
+            assert stats["requests"]["completed"] == expected, stats
+            assert stats["requests"]["failed"] == 0, stats
+            assert stats["batches"]["count"] >= 1, stats
+            print(
+                f"smoke OK: {expected} concurrent HTTP requests, "
+                f"{stats['batches']['count']} micro-batches "
+                f"(mean size {stats['batches']['mean_size']:.1f}), "
+                f"request p99 {stats['requests']['p99_ms']:.2f} ms"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -29,7 +30,21 @@ import numpy as np
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread grad-mode flag.
+
+    Grad mode must be thread-local: the serving worker pool runs
+    ``no_grad`` inference on several threads at once, and a process-wide
+    flag would let one thread's ``no_grad`` exit re-enable (or keep
+    disabled) graph construction underneath another thread mid-forward.
+    Each thread starts with gradients enabled, like torch.
+    """
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 @contextlib.contextmanager
@@ -37,20 +52,20 @@ def no_grad():
     """Context manager that disables graph construction.
 
     Used by evaluation loops so that forward passes do not retain
-    references to intermediate arrays.
+    references to intermediate arrays.  The switch is per-thread.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_mode.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new ops will be recorded on the autograd graph."""
-    return _GRAD_ENABLED
+    """Return whether new ops will be recorded on the autograd graph
+    (in the calling thread)."""
+    return _grad_mode.enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -164,7 +179,7 @@ class Tensor:
         grad_fns: Sequence[Optional[Callable[[np.ndarray], np.ndarray]]],
         op: str,
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

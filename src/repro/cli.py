@@ -7,7 +7,8 @@ Commands
 ``stats <preset>``         print a dataset preset's statistics
 ``train <preset>``         train TSPN-RA on a preset and report metrics
 ``predict <preset>``       serve sample predictions (train or load a checkpoint)
-``serve-bench <preset>``   cached vs uncached inference throughput
+``serve <preset>``         run the async HTTP serving runtime
+``serve-bench <preset>``   cached vs uncached vs batched inference throughput
 """
 
 from __future__ import annotations
@@ -62,8 +63,33 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="number of test samples to serve")
     predict_parser.add_argument("--top-k", type=int, default=5, dest="top_k")
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the async micro-batching HTTP serving runtime"
+    )
+    serve_parser.add_argument("preset", nargs="?", default=None,
+                              help="dataset preset to train on (omit with --checkpoint)")
+    serve_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                              help="serve this checkpoint instead of training")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8151,
+                              help="listen port (0 picks an ephemeral port)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="worker threads (Predictor replicas)")
+    serve_parser.add_argument("--max-batch-size", type=int, default=16,
+                              dest="max_batch_size",
+                              help="micro-batch flush size")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                              dest="max_wait_ms",
+                              help="micro-batch flush deadline (ms)")
+    serve_parser.add_argument("--queue-size", type=int, default=256,
+                              dest="queue_size",
+                              help="admission queue bound (excess load gets 429)")
+    serve_parser.add_argument("--model", default="TSPN-RA")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+
     bench_parser = sub.add_parser(
-        "serve-bench", help="benchmark cached vs uncached inference throughput"
+        "serve-bench", help="benchmark cached vs uncached vs batched throughput"
     )
     bench_parser.add_argument("preset")
     bench_parser.add_argument("--model", default="TSPN-RA")
@@ -73,6 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="number of test samples to serve per pass")
     bench_parser.add_argument("--scale", type=float, default=None,
                               help="override the profile's dataset scale")
+    bench_parser.add_argument("--batch-sizes", default="16", dest="batch_sizes",
+                              help="comma-separated batch sizes to sweep "
+                                   "(e.g. 4,16,32)")
+    bench_parser.add_argument("--output", default=None, metavar="PATH",
+                              help="write the machine-readable sweep (config + "
+                                   "per-batch-size results) to this JSON file "
+                                   "(default: benchmarks/results/BENCH_serve.json)")
     return parser
 
 
@@ -88,6 +121,17 @@ def _trained_model(args):
     data = prepare(args.preset, profile, seed=args.seed)
     _, model = run_one(args.model, data, profile, seed=args.seed)
     return model, data
+
+
+def _server_config(args):
+    from .serve import ServerConfig
+
+    return ServerConfig(
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.queue_size,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -183,14 +227,91 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.command == "serve":
+        import time
+
+        from .serve import HttpFrontend, InferenceServer, ServerConfig
+
+        if args.checkpoint:
+            try:
+                server = InferenceServer.from_checkpoint(
+                    args.checkpoint, config=_server_config(args)
+                )
+            except FileNotFoundError:
+                print(f"serve: checkpoint not found: {args.checkpoint}", file=sys.stderr)
+                return 2
+            except ValueError as error:  # no recipe, unknown preset, mismatch
+                print(f"serve: cannot load checkpoint: {error}", file=sys.stderr)
+                return 2
+        else:
+            if args.preset is None:
+                print("serve: provide a preset or --checkpoint", file=sys.stderr)
+                return 2
+            model, data = _trained_model(args)
+            server = InferenceServer(model, config=_server_config(args),
+                                     dataset=data.dataset)
+        server.start()
+        front = HttpFrontend(server, host=args.host, port=args.port)
+        print(f"serving on {front.url}  (workers={server.config.workers}, "
+              f"max_batch_size={server.config.max_batch_size}, "
+              f"max_wait_ms={server.config.max_wait_ms})")
+        print(f"  POST {front.url}/predict    POST {front.url}/recommend")
+        print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
+        try:
+            front.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down (draining in-flight requests)...")
+        finally:
+            front.stop()
+            server.stop(drain=True)
+        return 0
+
     if args.command == "serve-bench":
+        import json
+        from pathlib import Path
+
         from .serve import compare_throughput
+
+        try:
+            batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
+        except ValueError:
+            print(f"serve-bench: bad --batch-sizes {args.batch_sizes!r}", file=sys.stderr)
+            return 2
+        if not batch_sizes or any(b < 1 for b in batch_sizes):
+            print("serve-bench: --batch-sizes needs positive integers", file=sys.stderr)
+            return 2
 
         model, data = _trained_model(args)
         test = data.splits.test[: args.requests]
-        report = compare_throughput(model, test)
-        for key, value in report.items():
-            print(f"{key:18s} {value:10.2f}")
+        results = []
+        for batch_size in batch_sizes:
+            report = compare_throughput(model, test, batch_size=batch_size)
+            print(f"\nbatch_size = {batch_size}")
+            for key, value in report.items():
+                print(f"{key:18s} {value:10.2f}")
+            results.append(
+                {"batch_size": batch_size,
+                 **{key: round(value, 4) for key, value in report.items()}}
+            )
+
+        output = Path(args.output) if args.output else (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+            / "BENCH_serve.json"
+        )
+        output.parent.mkdir(parents=True, exist_ok=True)
+        sweep = {
+            "bench": "serve",
+            "dataset": args.preset,
+            "model": args.model,
+            "profile": args.profile,
+            "seed": args.seed,
+            "scale": args.scale,
+            "requests": len(test),
+            "batch_sizes": batch_sizes,
+            "results": results,
+        }
+        output.write_text(json.dumps(sweep, indent=2) + "\n")
+        print(f"\n[serve sweep saved to {output}]")
         return 0
 
     return 1  # unreachable: argparse enforces a command

@@ -9,7 +9,8 @@ Entry points
   restricted candidate list;
 * :func:`save_checkpoint` / :func:`load_checkpoint` — persist a
   trained model (config + weights + dataset recipe) and reload it
-  without retraining;
+  without retraining (:func:`read_checkpoint` is the weights-only
+  read used by hot reload);
 * :class:`Predictor` — the serving facade: cached shared embeddings,
   LRU-bounded per-user graph cache, and *vectorised* batched
   inference: every request batch is right-padded, masked, and encoded
@@ -17,6 +18,17 @@ Entry points
   ``predict_batch`` (TSPN-RA's batched fusion/attention, the
   baselines' ``score_batch``), with per-batch p50/p95/p99 latency in
   :class:`ServeStats`;
+* :class:`InferenceServer` / :class:`ServerConfig` — the async
+  serving runtime: individual requests from many concurrent clients
+  coalesce through a :class:`MicroBatchScheduler` (flush on
+  ``max_batch_size`` or ``max_wait_ms``), execute on a worker-thread
+  pool of Predictor replicas sharing one checkpoint's weights, with
+  bounded-queue admission control (:class:`QueueFullError`), graceful
+  draining shutdown, and hot weight reload;
+* :class:`HttpFrontend` — the stdlib HTTP/JSON front door
+  (``/predict``, ``/recommend``, ``/healthz``, ``/stats``,
+  ``/reload``); request/response codecs are
+  :func:`sample_from_json` / :func:`result_to_json`;
 * :func:`compare_throughput` — uncached vs cached-per-sample vs
   batched serving microbench (the batched leg reports latency
   percentiles).
@@ -26,21 +38,54 @@ from .checkpoint import (
     CHECKPOINT_FORMAT,
     LoadedCheckpoint,
     load_checkpoint,
+    read_checkpoint,
     save_checkpoint,
 )
-from .predictor import Predictor, ServeStats, compare_throughput
-from .protocol import PredictorBase, PredictorProtocol, PredictorResult, rank_of_target
+from .predictor import (
+    Predictor,
+    ServeStats,
+    compare_throughput,
+    interpolated_percentile,
+)
+from .protocol import (
+    PredictorBase,
+    PredictorProtocol,
+    PredictorResult,
+    rank_of_target,
+    result_to_json,
+    sample_from_json,
+    serve_history_key,
+)
+from .scheduler import (
+    MicroBatchScheduler,
+    QueueFullError,
+    SchedulerClosedError,
+    ServeRequest,
+)
+from .server import HttpFrontend, InferenceServer, ServerConfig
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "HttpFrontend",
+    "InferenceServer",
     "LoadedCheckpoint",
+    "MicroBatchScheduler",
     "Predictor",
     "PredictorBase",
     "PredictorProtocol",
     "PredictorResult",
+    "QueueFullError",
+    "SchedulerClosedError",
+    "ServeRequest",
     "ServeStats",
+    "ServerConfig",
     "compare_throughput",
+    "interpolated_percentile",
     "load_checkpoint",
     "rank_of_target",
+    "read_checkpoint",
+    "result_to_json",
+    "sample_from_json",
     "save_checkpoint",
+    "serve_history_key",
 ]

@@ -78,6 +78,23 @@ def save_checkpoint(model, path, dataset=None) -> Path:
     return path
 
 
+def read_checkpoint(path):
+    """Raw ``(meta, params, extra)`` of a checkpoint file, no rebuild.
+
+    The weights-only read path: hot weight reload
+    (:meth:`repro.serve.InferenceServer.reload_weights`) swaps new
+    parameters into an already-constructed model without paying for a
+    dataset rebuild, and :func:`load_checkpoint` builds on it.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(data["__meta__"].item())
+        params = {k[len(_PARAM):]: data[k] for k in data.files if k.startswith(_PARAM)}
+        extra = {k[len(_EXTRA):]: data[k] for k in data.files if k.startswith(_EXTRA)}
+    if meta.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"unsupported checkpoint format: {meta.get('format')!r}")
+    return meta, params, extra
+
+
 def load_checkpoint(path, dataset=None, rng=None) -> LoadedCheckpoint:
     """Restore a model saved by :func:`save_checkpoint`.
 
@@ -90,18 +107,22 @@ def load_checkpoint(path, dataset=None, rng=None) -> LoadedCheckpoint:
     from ..core.model import TSPNRA
     from ..data import build_dataset
 
-    with np.load(path, allow_pickle=False) as data:
-        meta = json.loads(data["__meta__"].item())
-        params = {k[len(_PARAM):]: data[k] for k in data.files if k.startswith(_PARAM)}
-        extra = {k[len(_EXTRA):]: data[k] for k in data.files if k.startswith(_EXTRA)}
-
-    if meta.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(f"unsupported checkpoint format: {meta.get('format')!r}")
+    meta, params, extra = read_checkpoint(path)
     if dataset is None:
         recipe = meta.get("dataset")
         if recipe is None:
             raise ValueError("checkpoint carries no dataset recipe; pass dataset=")
-        dataset = build_dataset(**recipe)
+        try:
+            dataset = build_dataset(**recipe)
+        except (KeyError, TypeError) as error:
+            # An unknown preset name surfaces as a bare KeyError deep in
+            # build_dataset, and a recipe written by a newer schema can
+            # carry arguments this build_dataset doesn't accept — both
+            # mean "this checkpoint's dataset isn't available here".
+            raise ValueError(
+                f"checkpoint {path!s}: cannot rebuild its dataset from recipe "
+                f"{recipe!r}: {error}"
+            ) from error
     num_pois = len(dataset.city.pois)
     if num_pois != meta["num_pois"]:
         raise ValueError(

@@ -17,8 +17,9 @@ model as a long-lived recommendation service:
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +28,7 @@ from ..autograd import no_grad
 from ..data.trajectory import PredictionSample, Trajectory, Visit
 from ..utils.cache import LRUCache
 from .checkpoint import load_checkpoint
-from .protocol import PredictorResult
+from .protocol import PredictorResult, serve_history_key
 
 LATENCY_PERCENTILES = (50, 95, 99)
 
@@ -37,9 +38,35 @@ LATENCY_PERCENTILES = (50, 95, 99)
 LATENCY_WINDOW = 4096
 
 
+def interpolated_percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linearly interpolated percentile of an ascending-sorted sequence.
+
+    The standard linear method (numpy's default): the percentile falls
+    at fractional rank ``(n - 1) * p / 100`` and is interpolated between
+    the two bracketing order statistics.  Nearest-rank would quantise
+    p99 onto whichever single sample happens to sit at the top of a
+    small window; interpolation degrades smoothly instead.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (n - 1) * p / 100.0
+    lo = int(rank)
+    if lo >= n - 1:
+        return float(sorted_values[-1])
+    frac = rank - lo
+    return float(sorted_values[lo] + (sorted_values[lo + 1] - sorted_values[lo]) * frac)
+
+
 @dataclass
 class ServeStats:
-    """Rolling counters for one predictor instance."""
+    """Rolling counters for one predictor instance.
+
+    Thread-safe: the serving worker pool records batches from several
+    threads into one roll-up, and `/stats` reads concurrently.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -47,6 +74,11 @@ class ServeStats:
     embedding_refreshes: int = 0
     embedding_cache_hits: int = 0
     batch_seconds: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        # not a dataclass field: locks are neither comparable nor
+        # serialisable, and as_dict() must not carry it
+        self._lock = threading.Lock()
 
     @property
     def mean_latency_ms(self) -> float:
@@ -58,28 +90,47 @@ class ServeStats:
         return self.requests / self.total_seconds if self.total_seconds > 0 else 0.0
 
     def record_batch(self, seconds: float, size: int) -> None:
-        self.total_seconds += seconds
-        self.requests += size
-        self.batches += 1
-        self.batch_seconds.append(seconds)
-        if len(self.batch_seconds) > 2 * LATENCY_WINDOW:  # amortised trim
-            del self.batch_seconds[:-LATENCY_WINDOW]
+        with self._lock:
+            self.total_seconds += seconds
+            self.requests += size
+            self.batches += 1
+            self.batch_seconds.append(seconds)
+            if len(self.batch_seconds) > 2 * LATENCY_WINDOW:  # amortised trim
+                del self.batch_seconds[:-LATENCY_WINDOW]
+
+    def recent_batch_seconds(self) -> List[float]:
+        """Snapshot of the recent latency window (thread-safe copy)."""
+        with self._lock:
+            return self.batch_seconds[-LATENCY_WINDOW:]
 
     def latency_percentiles(
         self, percentiles: Sequence[int] = LATENCY_PERCENTILES
     ) -> Dict[str, float]:
-        """Per-batch latency percentiles in ms over the recent window."""
-        if not self.batch_seconds:
+        """Per-batch latency percentiles in ms over the recent window,
+        linearly interpolated between order statistics."""
+        window = self.recent_batch_seconds()
+        if not window:
             return {f"p{p}_ms": 0.0 for p in percentiles}
-        millis = 1000.0 * np.asarray(self.batch_seconds[-LATENCY_WINDOW:])
-        return {f"p{p}_ms": float(np.percentile(millis, p)) for p in percentiles}
+        millis = sorted(1000.0 * s for s in window)
+        return {f"p{p}_ms": interpolated_percentile(millis, p) for p in percentiles}
 
     def as_dict(self) -> Dict[str, float]:
-        out = dict(asdict(self))
-        out.pop("batch_seconds")  # raw series; summarised below
-        out["mean_latency_ms"] = self.mean_latency_ms
-        out["throughput"] = self.throughput
-        out.update(self.latency_percentiles())
+        with self._lock:  # one consistent snapshot across all counters
+            out: Dict[str, float] = {
+                "requests": self.requests,
+                "batches": self.batches,
+                "total_seconds": self.total_seconds,
+                "embedding_refreshes": self.embedding_refreshes,
+                "embedding_cache_hits": self.embedding_cache_hits,
+            }
+            window = self.batch_seconds[-LATENCY_WINDOW:]
+        requests, total = out["requests"], out["total_seconds"]
+        out["mean_latency_ms"] = 1000.0 * total / requests if requests else 0.0
+        out["throughput"] = requests / total if total > 0 else 0.0
+        millis = sorted(1000.0 * s for s in window)
+        out.update(
+            {f"p{p}_ms": interpolated_percentile(millis, p) for p in LATENCY_PERCENTILES}
+        )
         return out
 
 
@@ -98,6 +149,7 @@ class Predictor:
         self.stats = ServeStats()
         self._shared: Optional[Tuple[Any, ...]] = None
         self._shared_version: Optional[int] = None
+        self._shared_lock = threading.Lock()
         self.graph_cache: Optional[LRUCache] = None
         if graph_cache_size is not None:
             cache = LRUCache(graph_cache_size)
@@ -116,20 +168,27 @@ class Predictor:
     # shared-state cache
     # ------------------------------------------------------------------
     def shared_state(self) -> Tuple[Any, ...]:
-        """Cached ``compute_embeddings()``, refreshed on weight updates."""
-        version = self.model.weights_version()
-        if self._shared is None or version != self._shared_version:
-            self._shared = self.model.compute_embeddings()
-            self._shared_version = version
-            self.stats.embedding_refreshes += 1
-        else:
-            self.stats.embedding_cache_hits += 1
-        return self._shared
+        """Cached ``compute_embeddings()``, refreshed on weight updates.
+
+        Serialised by a lock so concurrent requests on one predictor
+        refresh the tables exactly once per ``weights_version`` instead
+        of racing duplicate recomputes.
+        """
+        with self._shared_lock:
+            version = self.model.weights_version()
+            if self._shared is None or version != self._shared_version:
+                self._shared = self.model.compute_embeddings()
+                self._shared_version = version
+                self.stats.embedding_refreshes += 1
+            else:
+                self.stats.embedding_cache_hits += 1
+            return self._shared
 
     def invalidate(self) -> None:
         """Drop cached shared state (forced refresh on the next request)."""
-        self._shared = None
-        self._shared_version = None
+        with self._shared_lock:
+            self._shared = None
+            self._shared_version = None
 
     # ------------------------------------------------------------------
     # inference
@@ -182,14 +241,12 @@ class Predictor:
         if not visits:
             raise ValueError("recommend() needs at least one visit")
         history = list(history)
-        # Key by history content so equal requests share one cached
-        # graph.  The "serve" namespace keeps these keys disjoint from
-        # dataset ``history_key=(user, trajectory_index)`` 2-tuples —
-        # without it a live request could alias a training-time QR-P
-        # cache entry and serve a stale graph.
-        key = ("serve", user_id, hash(tuple(v.poi_id for t in history for v in t.visits)))
         sample = PredictionSample(
-            user_id=user_id, history=history, prefix=visits, target=None, history_key=key
+            user_id=user_id,
+            history=history,
+            prefix=visits,
+            target=None,
+            history_key=serve_history_key(user_id, history),
         )
         return self.predict(sample).top_k(k)
 

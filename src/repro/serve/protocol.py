@@ -31,6 +31,8 @@ from typing import (
 
 import numpy as np
 
+from ..data.trajectory import PredictionSample, Trajectory, Visit
+
 
 def rank_of_target(
     ranking: Sequence[int], target: int, universe: Optional[int] = None
@@ -195,3 +197,113 @@ class PredictorBase:
     def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
         if state:
             raise KeyError(f"unexpected extra state: {sorted(state)}")
+
+
+# ----------------------------------------------------------------------
+# wire format (the HTTP front-end's request/response JSON)
+# ----------------------------------------------------------------------
+def serve_history_key(user_id: int, history: Sequence[Trajectory]) -> Tuple:
+    """Graph-cache key for a live (non-dataset) request.
+
+    Keyed by history *content* so equal requests share one cached QR-P
+    graph.  The ``"serve"`` namespace keeps these keys disjoint from
+    dataset ``(user, trajectory-index)`` 2-tuples — without it a live
+    request could alias a training-time cache entry and serve a stale
+    graph.
+    """
+    digest = hash(tuple(v.poi_id for t in history for v in t.visits))
+    return ("serve", user_id, digest)
+
+
+def _visit_from_json(entry, position: int, num_pois: Optional[int], where: str) -> Visit:
+    """One visit from either ``{"poi_id", "timestamp"}`` or a bare id.
+
+    Bare ids get consecutive integer timestamps — convenient for hand-
+    written curl payloads where only the visit order matters.
+    """
+    if isinstance(entry, dict):
+        if "poi_id" not in entry:
+            raise ValueError(f"{where}[{position}] is missing 'poi_id'")
+        poi_id = entry["poi_id"]
+        timestamp = entry.get("timestamp", float(position))
+    else:
+        poi_id, timestamp = entry, float(position)
+    if isinstance(poi_id, bool) or not isinstance(poi_id, int):
+        raise ValueError(f"{where}[{position}].poi_id must be an integer")
+    if not isinstance(timestamp, (int, float)) or isinstance(timestamp, bool):
+        raise ValueError(f"{where}[{position}].timestamp must be a number")
+    if poi_id < 0 or (num_pois is not None and poi_id >= num_pois):
+        raise ValueError(
+            f"{where}[{position}].poi_id {poi_id} outside the POI universe"
+            + (f" [0, {num_pois})" if num_pois is not None else "")
+        )
+    return Visit(poi_id=int(poi_id), timestamp=float(timestamp))
+
+
+def sample_from_json(payload: Dict, num_pois: Optional[int] = None) -> PredictionSample:
+    """Build a :class:`PredictionSample` from a request body.
+
+    Expected shape (``prefix`` required and non-empty, the rest
+    optional)::
+
+        {"user_id": 7,
+         "prefix":  [{"poi_id": 3, "timestamp": 12.5}, 9],
+         "history": [[{"poi_id": 1, "timestamp": 0.0}, 2], ...],
+         "target":  {"poi_id": 4, "timestamp": 13.0}}
+
+    Visits may be bare POI ids (timestamps default to their position).
+    Validation failures raise ``ValueError`` with a field-level message
+    — the front-end turns them into 400s *before* the sample can join a
+    micro-batch and poison its batch-mates, and ``num_pois`` (when
+    given) bounds every POI id so a bad request can never crash the
+    batched encode with an out-of-range gather.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    user_id = payload.get("user_id", -1)
+    if isinstance(user_id, bool) or not isinstance(user_id, int):
+        raise ValueError("user_id must be an integer")
+    raw_prefix = payload.get("prefix")
+    if not isinstance(raw_prefix, list) or not raw_prefix:
+        raise ValueError("prefix must be a non-empty list of visits")
+    prefix = [
+        _visit_from_json(entry, i, num_pois, "prefix") for i, entry in enumerate(raw_prefix)
+    ]
+    raw_history = payload.get("history", [])
+    if not isinstance(raw_history, list):
+        raise ValueError("history must be a list of trajectories")
+    history: List[Trajectory] = []
+    for t, raw_trajectory in enumerate(raw_history):
+        if not isinstance(raw_trajectory, list) or not raw_trajectory:
+            raise ValueError(f"history[{t}] must be a non-empty list of visits")
+        visits = [
+            _visit_from_json(entry, i, num_pois, f"history[{t}]")
+            for i, entry in enumerate(raw_trajectory)
+        ]
+        history.append(Trajectory(user_id=user_id, visits=visits))
+    target = None
+    if payload.get("target") is not None:
+        target = _visit_from_json(payload["target"], len(prefix), num_pois, "target")
+    return PredictionSample(
+        user_id=user_id,
+        history=history,
+        prefix=prefix,
+        target=target,
+        history_key=serve_history_key(user_id, history),
+    )
+
+
+def result_to_json(result: "PredictorResult", k: int = 10) -> Dict:
+    """Response body for one :class:`PredictorResult`.
+
+    Always carries the top-``k`` POIs and the universe size; rank and
+    target fields appear only for requests that supplied a ground-truth
+    target, tile fields only for models with a tile-selection step.
+    """
+    payload: Dict = {"top_pois": result.top_k(k), "num_pois": result.num_pois}
+    if result.ranked_tiles is not None:
+        payload["top_tiles"] = result.ranked_tiles[:k]
+    if result.target_poi >= 0:
+        payload["target_poi"] = result.target_poi
+        payload["poi_rank"] = result.poi_rank
+    return payload

@@ -1,0 +1,577 @@
+"""The async serving runtime: worker pool + micro-batching + HTTP.
+
+This module turns the offline batched inference path into an online
+service.  Three layers, composable and individually testable:
+
+* :class:`InferenceServer` — the runtime.  Owns a
+  :class:`~repro.serve.scheduler.MicroBatchScheduler` and a pool of
+  worker threads, each serving through its own
+  :class:`~repro.serve.predictor.Predictor` replica.  Replicas are
+  shallow copies of one checkpoint's model: **parameters (and every
+  other read-only table) are shared zero-copy**, while the mutable
+  per-request state — the per-user QR-P graph cache — is per-worker,
+  so workers never contend on cache eviction.  Because parameters are
+  shared objects, :meth:`InferenceServer.reload_weights` on the
+  primary propagates to every worker at once, and each worker's
+  embedding cache refreshes itself via the existing
+  ``weights_version`` token.
+* :class:`ServerConfig` — batching/pool/backpressure knobs.
+* :class:`HttpFrontend` — a stdlib-only HTTP/JSON front door
+  (``/predict``, ``/recommend``, ``/healthz``, ``/stats``,
+  ``/reload``) on a threading HTTP server; each connection thread
+  blocks on its request future while the scheduler coalesces
+  concurrent requests into micro-batches.
+
+Request identity: a request's result is exactly what a direct
+``Predictor.predict_batch([sample])`` would return — micro-batch
+composition is invisible because the batched encode is equivalence-
+tested against the per-sample loop (PR 2), so *any* batching of
+requests yields identical per-request rankings.
+
+Failure containment: a batch that raises fails only its own requests
+(their futures carry the exception); the worker survives and keeps
+serving.  The front-end therefore validates request payloads *before*
+admission (:func:`~repro.serve.protocol.sample_from_json` bounds POI
+ids) so a malformed request gets its own 400 instead of poisoning a
+batch.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .checkpoint import load_checkpoint, read_checkpoint
+from .predictor import (
+    LATENCY_PERCENTILES,
+    Predictor,
+    ServeStats,
+    interpolated_percentile,
+)
+from .protocol import PredictorResult, result_to_json, sample_from_json
+from .scheduler import MicroBatchScheduler, QueueFullError, SchedulerClosedError
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving runtime.
+
+    ``workers`` threads each run one Predictor replica; requests
+    coalesce into batches of up to ``max_batch_size``, flushed at
+    latest ``max_wait_ms`` after the oldest member entered the queue.
+    ``max_queue`` bounds the admission queue (excess load is rejected,
+    not buffered), ``graph_cache_size`` bounds each worker's per-user
+    QR-P graph LRU, and ``request_timeout_s`` caps how long a blocking
+    ``predict``/HTTP call waits for its future.
+    """
+
+    workers: int = 2
+    max_batch_size: int = 16
+    max_wait_ms: float = 5.0
+    max_queue: int = 256
+    graph_cache_size: Optional[int] = 256
+    request_timeout_s: float = 60.0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+class _PooledPredictor(Predictor):
+    """A worker Predictor whose embedding cache is pool-wide.
+
+    The shared embedding tables are a pure function of the (shared)
+    parameters, so N replicas recomputing and retaining N identical
+    copies per ``weights_version`` would waste both the compute (once
+    per worker at startup and after every reload) and the residency.
+    One version-keyed store, guarded by one lock, serves the pool.
+    """
+
+    def __init__(self, model, graph_cache_size, store):
+        super().__init__(model, graph_cache_size=graph_cache_size)
+        self._store = store
+
+    def shared_state(self):
+        store = self._store
+        with store["lock"]:
+            version = self.model.weights_version()
+            if store["version"] != version:
+                store["state"] = self.model.compute_embeddings()
+                store["version"] = version
+                self.stats.embedding_refreshes += 1
+            else:
+                self.stats.embedding_cache_hits += 1
+            return store["state"]
+
+    def invalidate(self):
+        with self._store["lock"]:
+            self._store["version"] = None
+            self._store["state"] = None
+
+
+def _replicate_model(model):
+    """A worker-private view of ``model`` sharing its weights zero-copy.
+
+    A shallow copy shares every attribute object — parameters,
+    embedding tables, the tile system, imagery columns — which is
+    exactly right: they are read-only during inference, and sharing
+    the :class:`~repro.nn.module.Parameter` objects themselves means a
+    ``load_state_dict`` on any replica (hot reload goes through the
+    primary) is visible to all of them, version bump included.  The
+    one piece of genuinely mutable per-request state, the QR-P graph
+    cache, is swapped per-replica by the :class:`Predictor` facade
+    (``set_graph_cache`` migrates warm entries without touching the
+    source cache).
+    """
+    replica = copy.copy(model)
+    # Serving always runs in eval mode; pinning it here (rather than
+    # per-request) keeps one worker's predict-time mode save/restore
+    # from racing another worker mid-forward into dropout.
+    replica.eval()
+    return replica
+
+
+class InferenceServer:
+    """Accept single requests, serve them in dynamic micro-batches.
+
+    Lifecycle: construct (optionally via :meth:`from_checkpoint`),
+    :meth:`start`, then :meth:`submit`/:meth:`predict` from any number
+    of threads; :meth:`stop` drains in-flight work by default.  Also a
+    context manager (``with InferenceServer(model) as server:``).
+    """
+
+    def __init__(self, model, config: Optional[ServerConfig] = None, dataset=None):
+        self.config = config or ServerConfig()
+        self.dataset = dataset
+        self._primary = model
+        model.eval()
+        # Warm lazy shared tables on the primary before replication so
+        # workers never race the first-touch builds.
+        if hasattr(model, "_poi_leaf_table"):
+            model._poi_leaf_table()
+        self.scheduler = MicroBatchScheduler(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+        )
+        embedding_store = {"lock": threading.Lock(), "version": None, "state": None}
+        self.predictors: List[Predictor] = [
+            _PooledPredictor(
+                _replicate_model(model),
+                graph_cache_size=self.config.graph_cache_size,
+                store=embedding_store,
+            )
+            for _ in range(self.config.workers)
+        ]
+        self._request_stats = ServeStats()
+        self._failed = 0
+        self._state_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, config: Optional[ServerConfig] = None, dataset=None
+    ) -> "InferenceServer":
+        """Build the runtime straight from a saved checkpoint."""
+        loaded = load_checkpoint(path, dataset=dataset)
+        return cls(loaded.model, config=config, dataset=loaded.dataset)
+
+    @property
+    def num_pois(self) -> Optional[int]:
+        return getattr(self._primary, "num_pois", None)
+
+    @property
+    def model(self):
+        """The primary model (weight reloads go through it)."""
+        return self._primary
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for index, predictor in enumerate(self.predictors):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(predictor,),
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Shut down the pool.
+
+        ``drain=True`` serves everything already admitted before the
+        workers exit (graceful); ``drain=False`` fails the backlog
+        fast.  Idempotent.
+        """
+        self._stopped = True
+        self.scheduler.close(drain=drain)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, sample) -> Future:
+        """Queue one :class:`PredictionSample`; non-blocking.
+
+        Raises ``ValueError`` for samples the batched encode would
+        reject (empty prefix) *before* they can join — and poison — a
+        micro-batch, :class:`QueueFullError` under backpressure, and
+        :class:`SchedulerClosedError` during shutdown.  The returned
+        future resolves to the request's :class:`PredictorResult`.
+        """
+        if not sample.prefix:
+            raise ValueError("sample needs a non-empty prefix")
+        num_pois = self.num_pois
+        if num_pois is not None:
+            visits = list(sample.prefix)
+            for trajectory in sample.history:
+                visits.extend(trajectory.visits)
+            if any(v.poi_id < 0 or v.poi_id >= num_pois for v in visits):
+                raise ValueError(f"sample references POIs outside [0, {num_pois})")
+        return self.scheduler.submit(sample)
+
+    def predict(self, sample, timeout: Optional[float] = None) -> PredictorResult:
+        """Blocking convenience wrapper: submit and wait for the result.
+
+        On timeout the request is cancelled so a worker does not later
+        spend a batch slot computing a result nobody is waiting for.
+        """
+        future = self.submit(sample)
+        try:
+            return future.result(
+                self.config.request_timeout_s if timeout is None else timeout
+            )
+        except FutureTimeoutError:
+            future.cancel()
+            raise
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self, predictor: Predictor) -> None:
+        while True:
+            batch = self.scheduler.next_batch()
+            if batch is None:  # closed and drained
+                return
+            samples = [request.sample for request in batch]
+            try:
+                results = predictor.predict_batch(samples)
+            except Exception as error:  # contain the blast radius to this batch
+                with self._state_lock:
+                    self._failed += len(batch)
+                for request in batch:
+                    try:
+                        request.future.set_exception(error)
+                    except InvalidStateError:
+                        pass  # client cancelled; nothing to deliver
+                continue
+            completed_at = time.monotonic()
+            for request, result in zip(batch, results):
+                # record before resolving: a client that wakes on its
+                # future must already see itself counted in /stats
+                self._request_stats.record_batch(
+                    completed_at - request.enqueued_at, 1
+                )
+                try:
+                    request.future.set_result(result)
+                except InvalidStateError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # hot weight reload
+    # ------------------------------------------------------------------
+    def reload_weights(self, source: Union[str, Path, Dict]) -> int:
+        """Swap in new weights without restarting the pool.
+
+        ``source`` is a checkpoint path or a ``state_dict`` mapping.
+        Parameters are shared objects across all worker replicas, so
+        one ``load_state_dict`` on the primary updates every worker;
+        the bumped ``weights_version`` then invalidates each worker's
+        cached embedding tables on its next request.  Extra inference
+        state (e.g. MC count tables) is re-applied to every replica
+        explicitly, since it lives in plain attributes that shallow
+        copies do not share on reassignment.  A batch already running
+        during the swap may mix old and new parameters — acceptable
+        for incremental refreshes; drain first if you need a hard cut.
+
+        Returns the new ``weights_version``.
+        """
+        extra = None
+        if isinstance(source, (str, Path)):
+            meta, params, extra = read_checkpoint(source)
+            name = meta.get("model_name")
+            expected = getattr(self._primary, "name", None)
+            if name != expected:
+                raise ValueError(
+                    f"checkpoint holds weights for {name!r}, server runs {expected!r}"
+                )
+        else:
+            params = dict(source)
+        self._primary.load_state_dict(params)
+        if extra:
+            self._primary.load_extra_state(extra)
+            for predictor in self.predictors:
+                predictor.model.load_extra_state(extra)
+        return self._primary.weights_version()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """One JSON-ready snapshot of the whole runtime.
+
+        ``scheduler`` covers admission (queue depth, rejections),
+        ``batches`` the pooled per-batch execution stats across
+        workers, and ``requests`` end-to-end request latency
+        (enqueue to completion, i.e. queueing + batching delay +
+        inference).
+        """
+        batch_window: List[float] = []
+        batch_requests = batch_count = refreshes = hits = 0
+        for predictor in self.predictors:
+            stats = predictor.stats
+            batch_window.extend(stats.recent_batch_seconds())
+            batch_requests += stats.requests
+            batch_count += stats.batches
+            refreshes += stats.embedding_refreshes
+            hits += stats.embedding_cache_hits
+        batch_ms = sorted(1000.0 * s for s in batch_window)
+        request_stats = self._request_stats.as_dict()
+        with self._state_lock:
+            failed = self._failed
+        return {
+            "running": self.running,
+            "workers": len(self.predictors),
+            "weights_version": self._primary.weights_version(),
+            "scheduler": self.scheduler.stats(),
+            "batches": {
+                "count": batch_count,
+                "requests": batch_requests,
+                "mean_size": batch_requests / batch_count if batch_count else 0.0,
+                "embedding_refreshes": refreshes,
+                "embedding_cache_hits": hits,
+                **{
+                    f"p{p}_ms": interpolated_percentile(batch_ms, p)
+                    for p in LATENCY_PERCENTILES
+                },
+            },
+            "requests": {
+                "completed": request_stats["requests"],
+                "failed": failed,
+                "rejected": self.scheduler.stats()["rejected"],
+                "mean_latency_ms": request_stats["mean_latency_ms"],
+                **{
+                    key: request_stats[key]
+                    for key in (f"p{p}_ms" for p in LATENCY_PERCENTILES)
+                },
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end (stdlib only)
+# ----------------------------------------------------------------------
+def _make_handler(server: InferenceServer):
+    """A request-handler class bound to one :class:`InferenceServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1.0"
+        protocol_version = "HTTP/1.1"
+
+        # the runtime's stats cover observability; per-request access
+        # logging on stderr would just add noise to benchmarks
+        def log_message(self, format, *args):
+            pass
+
+        def _send_json(self, status: int, payload: Dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> Dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ValueError("empty request body")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"invalid JSON: {error}") from error
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            return payload
+
+        def do_GET(self):
+            if self.path == "/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok" if server.running else "stopping",
+                        "workers": len(server.predictors),
+                        "weights_version": server.model.weights_version(),
+                    },
+                )
+            elif self.path == "/stats":
+                self._send_json(200, server.stats())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self):
+            if self.path not in ("/predict", "/recommend", "/reload"):
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                payload = self._read_json()
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            if self.path == "/reload":
+                self._reload(payload)
+            else:
+                self._infer(payload, recommend=self.path == "/recommend")
+
+        def _infer(self, payload: Dict, recommend: bool) -> None:
+            k = payload.get("k", 10)
+            if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+                self._send_json(400, {"error": "k must be a positive integer"})
+                return
+            if recommend:
+                payload = dict(payload)
+                payload.pop("target", None)  # recommendations carry no truth
+            try:
+                sample = sample_from_json(payload, num_pois=server.num_pois)
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            try:
+                future = server.submit(sample)
+            except QueueFullError as error:
+                self._send_json(
+                    429,
+                    {"error": str(error), **server.scheduler.stats()},
+                )
+                return
+            except SchedulerClosedError as error:
+                self._send_json(503, {"error": str(error)})
+                return
+            try:
+                result = future.result(server.config.request_timeout_s)
+            except FutureTimeoutError:
+                future.cancel()  # still queued -> don't waste a worker on it
+                self._send_json(
+                    504,
+                    {"error": f"request timed out after {server.config.request_timeout_s}s"},
+                )
+                return
+            except Exception as error:  # the batch raised
+                self._send_json(500, {"error": str(error)})
+                return
+            body = result_to_json(result, k=k)
+            if recommend:
+                body = {
+                    "user_id": sample.user_id,
+                    "recommendations": body["top_pois"],
+                    "num_pois": body["num_pois"],
+                }
+            self._send_json(200, body)
+
+        def _reload(self, payload: Dict) -> None:
+            path = payload.get("checkpoint")
+            if not isinstance(path, str) or not path:
+                self._send_json(400, {"error": "reload needs a 'checkpoint' path"})
+                return
+            try:
+                version = server.reload_weights(path)
+            except FileNotFoundError:
+                self._send_json(400, {"error": f"checkpoint not found: {path}"})
+                return
+            except Exception as error:
+                # not just ValueError/KeyError: a corrupt or non-.npz
+                # file surfaces as BadZipFile/OSError from np.load, and
+                # the client must get a 400, not a dropped connection
+                self._send_json(400, {"error": f"{type(error).__name__}: {error}"})
+                return
+            self._send_json(200, {"weights_version": version})
+
+    return Handler
+
+
+class HttpFrontend:
+    """Serve an :class:`InferenceServer` over HTTP/JSON.
+
+    Endpoints: ``POST /predict`` and ``POST /recommend`` (see
+    :func:`~repro.serve.protocol.sample_from_json` for the body
+    schema), ``POST /reload`` (``{"checkpoint": path}``),
+    ``GET /healthz`` and ``GET /stats``.  A threading HTTP server
+    gives each connection its own thread; those threads block on their
+    request futures while the scheduler coalesces them into
+    micro-batches.  ``port=0`` binds an ephemeral port (tests).
+    """
+
+    def __init__(self, server: InferenceServer, host: str = "127.0.0.1", port: int = 8151):
+        self.inference = server
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(server))
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HttpFrontend":
+        if self._thread is not None:
+            raise RuntimeError("HTTP front-end already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread until interrupted (CLI mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "HttpFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

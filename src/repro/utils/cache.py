@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -10,6 +11,9 @@ class LRUCache:
     """Least-recently-used map; ``maxsize=None`` means unbounded.
 
     Tracks hit/miss counters so serving code can report cache health.
+    All operations are thread-safe: the serving worker pool inserts QR-P
+    graphs from several threads at once, and an unguarded
+    ``OrderedDict`` reorder/evict can corrupt the linked list mid-read.
     """
 
     def __init__(self, maxsize: Optional[int] = None):
@@ -19,30 +23,37 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
 
     def put(self, key: Hashable, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if self.maxsize is not None and len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def items(self):
         """(key, value) pairs, least- to most-recently used."""
-        return list(self._data.items())
+        with self._lock:
+            return list(self._data.items())
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
