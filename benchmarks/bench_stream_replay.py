@@ -1,0 +1,110 @@
+"""Prequential streaming replay: incremental state vs full rebuild —
+BENCH_stream.
+
+Seeds the BENCH trajectory for the ``repro.stream`` subsystem.  A
+trained quick-profile NYC model replays the dataset's check-ins in
+global time order through two deployments of the same predictor:
+
+* **baseline** — the serialised, stateless cost model: every arrival
+  that warrants a prediction first rebuilds the user's sessions from
+  the raw log (the server holds no state) and recomputes the per-user
+  QR-P graph from scratch, one request at a time;
+* **stream** — the :class:`~repro.stream.UserStateStore` path: O(1)
+  sharded appends, session rollover at the Δt gap rule, per-user QR-P
+  graphs cached under ``("stream", user, history_version)`` keys and
+  retired exactly when the history moves, and predictions flushed
+  through the vectorised ``predict_batch`` in cross-user chunks
+  (sound under prequential order because every sample is an immutable
+  pre-ingest snapshot).
+
+Both legs make identical prediction decisions from identical inputs,
+so their ranked lists must agree (asserted) — the comparison isolates
+the *architecture*, not the model.  The acceptance gate asserts the
+streaming leg sustains >= 2x the baseline's ingest+predict events/sec.
+Alongside the human-readable table the run emits
+``benchmarks/results/BENCH_stream.json``.  Run standalone with
+``PYTHONPATH=src python benchmarks/bench_stream_replay.py``
+(the CI ``serve-smoke`` job does exactly that and uploads the JSON).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_table, get_profile, prepare, run_one
+from repro.serve import Predictor
+from repro.stream import compare_replay, events_from_checkins
+
+pytestmark = pytest.mark.slow
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MAX_EVENTS = 1200
+BATCH_SIZE = 32
+
+
+def run_bench(profile=None, save_report=None):
+    profile = (profile or get_profile("quick")).smaller(0.5)
+    data = prepare("nyc", profile)
+    _, model = run_one("TSPN-RA", data, profile)
+    events = events_from_checkins(data.dataset.checkins)
+
+    predictor = Predictor(model, graph_cache_size=512)
+    comparison = compare_replay(
+        predictor, events, batch_size=BATCH_SIZE, max_events=MAX_EVENTS
+    )
+    reports = comparison.pop("_reports")
+    stream, baseline = reports["stream"], reports["baseline"]
+
+    rows = [
+        [
+            report.leg,
+            str(report.events),
+            str(report.predictions),
+            f"{report.seconds:8.2f}",
+            f"{report.events_per_second:9.1f}",
+            f"{report.metrics['Recall@10']:.4f}",
+            f"{report.metrics['MRR']:.4f}",
+        ]
+        for report in (baseline, stream)
+    ]
+    table = format_table(
+        ["Leg", "Events", "Predictions", "Seconds", "Events/s", "Recall@10", "MRR"],
+        rows,
+        title=(
+            "Prequential streaming replay — incremental user state vs "
+            f"serialised full rebuild (NYC, {comparison['speedup']:.2f}x)"
+        ),
+    )
+    if save_report is not None:
+        save_report("stream_replay", table)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "stream_replay.txt").write_text(table + "\n")
+        print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trajectory_point = {
+        "bench": "stream_replay",
+        "dataset": "nyc",
+        "model": "TSPN-RA",
+        **comparison,
+    }
+    out = RESULTS_DIR / "BENCH_stream.json"
+    out.write_text(json.dumps(trajectory_point, indent=2) + "\n")
+    print(f"[BENCH trajectory point saved to {out}]")
+
+    # identical inputs + deterministic eval-mode inference => identical
+    # ranked lists; a mismatch means the store mis-split a session
+    assert comparison["ranked_lists_identical"], trajectory_point
+    assert comparison["speedup"] >= 2.0, trajectory_point
+    return trajectory_point
+
+
+def bench_stream_replay(profile, save_report):
+    run_bench(profile=profile, save_report=save_report)
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -34,7 +34,8 @@ Sub-packages: ``autograd`` / ``nn`` / ``optim`` (the ML substrate),
 ``geo`` / ``spatial`` / ``roadnet`` / ``imagery`` (the urban substrate),
 ``data`` (check-ins), ``graphs`` (QR-P), ``core`` (the model),
 ``baselines``, ``train``, ``eval``, ``serve`` (checkpoints + serving
-facade), ``experiments``.
+facade), ``stream`` (online ingestion + prequential evaluation),
+``experiments``.
 """
 
 __version__ = "1.1.0"
@@ -54,6 +55,7 @@ from . import (
     roadnet,
     serve,
     spatial,
+    stream,
     train,
     utils,
 )
@@ -73,6 +75,7 @@ __all__ = [
     "roadnet",
     "serve",
     "spatial",
+    "stream",
     "train",
     "utils",
 ]

@@ -9,6 +9,7 @@ Commands
 ``predict <preset>``       serve sample predictions (train or load a checkpoint)
 ``serve <preset>``         run the async HTTP serving runtime
 ``serve-bench <preset>``   cached vs uncached vs batched inference throughput
+``stream-replay <preset>`` prequential streaming evaluation vs rebuild baseline
 """
 
 from __future__ import annotations
@@ -87,6 +88,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--model", default="TSPN-RA")
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+    serve_parser.add_argument("--stateful", action="store_true",
+                              help="own per-user check-in state: enables "
+                                   "POST /checkin and history-less "
+                                   "POST /predict {\"user_id\": ...}")
+    serve_parser.add_argument("--shards", type=int, default=16,
+                              help="state-store lock stripes (with --stateful)")
+    serve_parser.add_argument("--gap-hours", type=float, default=None,
+                              dest="gap_hours",
+                              help="session-split gap Δt in hours "
+                                   "(default: the paper's 72h)")
+    serve_parser.add_argument("--max-sessions", type=int, default=64,
+                              dest="max_sessions",
+                              help="per-user bound on completed sessions "
+                                   "kept as QR-P history (with --stateful)")
 
     bench_parser = sub.add_parser(
         "serve-bench", help="benchmark cached vs uncached vs batched throughput"
@@ -106,6 +121,28 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="write the machine-readable sweep (config + "
                                    "per-batch-size results) to this JSON file "
                                    "(default: benchmarks/results/BENCH_serve.json)")
+
+    replay_parser = sub.add_parser(
+        "stream-replay",
+        help="prequential streaming replay: ingest-then-predict vs the "
+             "serialised full-rebuild baseline",
+    )
+    replay_parser.add_argument("preset")
+    replay_parser.add_argument("--model", default="TSPN-RA")
+    replay_parser.add_argument("--seed", type=int, default=0)
+    replay_parser.add_argument("--profile", default="quick", choices=("quick", "full"))
+    replay_parser.add_argument("--scale", type=float, default=None,
+                               help="override the profile's dataset scale")
+    replay_parser.add_argument("--max-events", type=int, default=1500,
+                               dest="max_events",
+                               help="cap on replayed check-ins (0 = all)")
+    replay_parser.add_argument("--batch-size", type=int, default=32,
+                               dest="batch_size",
+                               help="prediction flush size of the streaming leg")
+    replay_parser.add_argument("--output", default=None, metavar="PATH",
+                               help="write the machine-readable comparison to "
+                                    "this JSON file (default: "
+                                    "benchmarks/results/BENCH_stream.json)")
     return parser
 
 
@@ -228,14 +265,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "serve":
-        import time
+        from .serve import HttpFrontend, InferenceServer
 
-        from .serve import HttpFrontend, InferenceServer, ServerConfig
+        state_store = None
+        if args.stateful:
+            from .data.trajectory import DEFAULT_GAP_HOURS
+            from .stream import StoreConfig, UserStateStore
 
+            try:
+                state_store = UserStateStore(StoreConfig(
+                    num_shards=args.shards,
+                    max_sessions=args.max_sessions,
+                    gap_hours=(DEFAULT_GAP_HOURS if args.gap_hours is None
+                               else args.gap_hours),
+                ))
+            except ValueError as error:  # e.g. --shards 0, --gap-hours -1
+                print(f"serve: {error}", file=sys.stderr)
+                return 2
         if args.checkpoint:
             try:
                 server = InferenceServer.from_checkpoint(
-                    args.checkpoint, config=_server_config(args)
+                    args.checkpoint, config=_server_config(args),
+                    state_store=state_store,
                 )
             except FileNotFoundError:
                 print(f"serve: checkpoint not found: {args.checkpoint}", file=sys.stderr)
@@ -249,13 +300,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
             model, data = _trained_model(args)
             server = InferenceServer(model, config=_server_config(args),
-                                     dataset=data.dataset)
+                                     dataset=data.dataset, state_store=state_store)
         server.start()
         front = HttpFrontend(server, host=args.host, port=args.port)
         print(f"serving on {front.url}  (workers={server.config.workers}, "
               f"max_batch_size={server.config.max_batch_size}, "
-              f"max_wait_ms={server.config.max_wait_ms})")
+              f"max_wait_ms={server.config.max_wait_ms}"
+              + (f", stateful: {args.shards} shards" if args.stateful else "")
+              + ")")
         print(f"  POST {front.url}/predict    POST {front.url}/recommend")
+        if args.stateful:
+            print(f"  POST {front.url}/checkin    POST {front.url}/predict "
+                  "{\"user_id\": ...}")
         print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
         try:
             front.serve_forever()
@@ -312,6 +368,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
         output.write_text(json.dumps(sweep, indent=2) + "\n")
         print(f"\n[serve sweep saved to {output}]")
+        return 0
+
+    if args.command == "stream-replay":
+        import json
+        from pathlib import Path
+
+        from .serve import Predictor
+        from .stream import compare_replay, events_from_checkins
+
+        if args.batch_size < 1:
+            print("stream-replay: --batch-size must be >= 1", file=sys.stderr)
+            return 2
+        model, data = _trained_model(args)
+        events = events_from_checkins(data.dataset.checkins)
+        max_events = None if args.max_events in (0, None) else args.max_events
+        predictor = Predictor(model, graph_cache_size=512)
+        comparison = compare_replay(
+            predictor, events, batch_size=args.batch_size, max_events=max_events
+        )
+        reports = comparison.pop("_reports")
+        for leg in ("baseline", "stream"):
+            report = reports[leg]
+            print(f"\n{leg}: {report.predictions} predictions over "
+                  f"{report.events} events in {report.seconds:.2f}s "
+                  f"({report.events_per_second:.1f} events/s)")
+            for name, value in report.metrics.items():
+                print(f"  {name:12s} {value:.4f}")
+        print(f"\nstreaming speedup over serialised rebuild: "
+              f"{comparison['speedup']:.2f}x  "
+              f"(ranked lists identical: {comparison['ranked_lists_identical']})")
+
+        output = Path(args.output) if args.output else (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+            / "BENCH_stream.json"
+        )
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(
+            {"bench": "stream_replay", "dataset": args.preset,
+             "model": args.model, "profile": args.profile, "seed": args.seed,
+             "scale": args.scale, **comparison},
+            indent=2) + "\n")
+        print(f"[stream replay comparison saved to {output}]")
         return 0
 
     return 1  # unreachable: argparse enforces a command

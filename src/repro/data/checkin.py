@@ -33,7 +33,20 @@ class Checkin:
 
 
 class CheckinDataset:
-    """All check-ins, indexed by user and sorted by time within a user."""
+    """All check-ins, indexed by user and sorted by time within a user.
+
+    **Invariant (enforced here, relied on everywhere):** the per-user
+    sequence returned by :meth:`of_user` is non-decreasing in
+    ``timestamp``.  Construction sorts each user's records (stable, so
+    equal-timestamp records keep their input order) regardless of the
+    input order — the trajectory gap rule
+    (:func:`~repro.data.trajectory.split_into_trajectories`), the
+    streaming store's ordered appends
+    (:class:`repro.stream.UserStateStore`) and the replayed event
+    stream (:func:`repro.stream.events_from_checkins`) all depend on
+    it and *raise* on out-of-order input rather than mis-splitting
+    sessions silently.
+    """
 
     def __init__(self, checkins: List[Checkin]):
         self._by_user: Dict[int, List[Checkin]] = {}
@@ -53,6 +66,7 @@ class CheckinDataset:
         return sorted(self._by_user)
 
     def of_user(self, user_id: int) -> List[Checkin]:
+        """One user's check-ins, guaranteed time-sorted (see class doc)."""
         return list(self._by_user.get(user_id, []))
 
     def all_checkins(self) -> Iterator[Checkin]:

@@ -37,6 +37,7 @@ Entry points
 from .checkpoint import (
     CHECKPOINT_FORMAT,
     LoadedCheckpoint,
+    apply_extra_state,
     load_checkpoint,
     read_checkpoint,
     save_checkpoint,
@@ -67,6 +68,7 @@ from .server import HttpFrontend, InferenceServer, ServerConfig
 __all__ = [
     "CHECKPOINT_FORMAT",
     "HttpFrontend",
+    "apply_extra_state",
     "InferenceServer",
     "LoadedCheckpoint",
     "MicroBatchScheduler",

@@ -90,16 +90,44 @@ def read_checkpoint(path):
         meta = json.loads(data["__meta__"].item())
         params = {k[len(_PARAM):]: data[k] for k in data.files if k.startswith(_PARAM)}
         extra = {k[len(_EXTRA):]: data[k] for k in data.files if k.startswith(_EXTRA)}
-    if meta.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError(f"unsupported checkpoint format: {meta.get('format')!r}")
+    found = meta.get("format")
+    if found != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"checkpoint {path!s} uses format {found!r}, but this build "
+            f"supports format {CHECKPOINT_FORMAT}; re-save it with a repro "
+            "version whose CHECKPOINT_FORMAT matches"
+        )
     return meta, params, extra
 
 
-def load_checkpoint(path, dataset=None, rng=None) -> LoadedCheckpoint:
+def apply_extra_state(model, extra: Dict[str, np.ndarray], strict: bool = True) -> Dict:
+    """Feed ``extra::`` arrays into the model's persistence hook.
+
+    ``strict=True`` passes everything through, so a key the model does
+    not consume raises (the model's ``load_extra_state`` rejects
+    leftovers).  ``strict=False`` is the forward-compatible weights-only
+    path: only the keys the model itself would *write* today (its
+    ``extra_state()`` key set) are applied, and unknown ``extra::``
+    entries — e.g. side-state introduced by a newer schema — are
+    returned rather than raised, so old builds can still serve new
+    checkpoints' weights.
+    """
+    if strict:
+        model.load_extra_state(extra)
+        return {}
+    known = set(model.extra_state())
+    model.load_extra_state({k: v for k, v in extra.items() if k in known})
+    return {k: v for k, v in extra.items() if k not in known}
+
+
+def load_checkpoint(path, dataset=None, rng=None, strict: bool = True) -> LoadedCheckpoint:
     """Restore a model saved by :func:`save_checkpoint`.
 
     ``dataset`` skips the rebuild when the caller already holds the
-    (identical) dataset the model was trained on.
+    (identical) dataset the model was trained on.  ``strict=False``
+    tolerates unknown ``extra::`` keys (see :func:`apply_extra_state`);
+    the ignored key names land in ``meta["ignored_extra"]`` so callers
+    can surface them.
     """
     from ..baselines import make_baseline
     from ..baselines.markov import MarkovChain
@@ -141,6 +169,8 @@ def load_checkpoint(path, dataset=None, rng=None) -> LoadedCheckpoint:
         )
         model = make_baseline(name, num_pois, locations, dim=config["dim"], rng=rng)
     model.load_state_dict(params)
-    model.load_extra_state(extra)
+    ignored = apply_extra_state(model, extra, strict=strict)
+    if ignored:
+        meta = {**meta, "ignored_extra": sorted(ignored)}
     model.eval()
     return LoadedCheckpoint(model=model, dataset=dataset, meta=meta)

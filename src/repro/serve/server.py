@@ -17,10 +17,18 @@ service.  Three layers, composable and individually testable:
   ``weights_version`` token.
 * :class:`ServerConfig` — batching/pool/backpressure knobs.
 * :class:`HttpFrontend` — a stdlib-only HTTP/JSON front door
-  (``/predict``, ``/recommend``, ``/healthz``, ``/stats``,
-  ``/reload``) on a threading HTTP server; each connection thread
-  blocks on its request future while the scheduler coalesces
+  (``/predict``, ``/recommend``, ``/checkin``, ``/healthz``,
+  ``/stats``, ``/reload``) on a threading HTTP server; each connection
+  thread blocks on its request future while the scheduler coalesces
   concurrent requests into micro-batches.
+
+Stateful serving (``state_store=``): the server owns per-user check-in
+state (:mod:`repro.stream`).  ``POST /checkin`` appends one arrival —
+rolling sessions at the Δt gap rule and retiring the user's stale QR-P
+graph entry from every worker's cache — and a history-less
+``POST /predict {"user_id": ...}`` resolves the stored history into an
+immutable snapshot sample *before* batching, so stateful and stateless
+requests ride the same micro-batching scheduler side by side.
 
 Request identity: a request's result is exactly what a direct
 ``Predictor.predict_batch([sample])`` would return — micro-batch
@@ -49,6 +57,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..stream.events import CheckinEvent, event_from_json
+from ..stream.ingest import StreamIngest
+from ..stream.state import AppendResult, UserStateStore
 from .checkpoint import load_checkpoint, read_checkpoint
 from .predictor import (
     LATENCY_PERCENTILES,
@@ -148,7 +159,13 @@ class InferenceServer:
     context manager (``with InferenceServer(model) as server:``).
     """
 
-    def __init__(self, model, config: Optional[ServerConfig] = None, dataset=None):
+    def __init__(
+        self,
+        model,
+        config: Optional[ServerConfig] = None,
+        dataset=None,
+        state_store: Optional[UserStateStore] = None,
+    ):
         self.config = config or ServerConfig()
         self.dataset = dataset
         self._primary = model
@@ -174,17 +191,34 @@ class InferenceServer:
         self._request_stats = ServeStats()
         self._failed = 0
         self._state_lock = threading.Lock()
+        self._in_flight = [0] * self.config.workers  # per-worker batch sizes
         self._threads: List[threading.Thread] = []
         self._started = False
         self._stopped = False
+        # Stateful serving: the server owns per-user check-in state.
+        # The ingest pipeline sees every worker's QR-P graph LRU, so a
+        # session rollover retires the stale per-user entry everywhere.
+        self.state_store = state_store
+        self.stream: Optional[StreamIngest] = None
+        if state_store is not None:
+            self.stream = StreamIngest(
+                state_store,
+                caches=[predictor.graph_cache for predictor in self.predictors],
+            )
 
     @classmethod
     def from_checkpoint(
-        cls, path, config: Optional[ServerConfig] = None, dataset=None
+        cls,
+        path,
+        config: Optional[ServerConfig] = None,
+        dataset=None,
+        state_store: Optional[UserStateStore] = None,
     ) -> "InferenceServer":
         """Build the runtime straight from a saved checkpoint."""
         loaded = load_checkpoint(path, dataset=dataset)
-        return cls(loaded.model, config=config, dataset=loaded.dataset)
+        return cls(
+            loaded.model, config=config, dataset=loaded.dataset, state_store=state_store
+        )
 
     @property
     def num_pois(self) -> Optional[int]:
@@ -205,7 +239,7 @@ class InferenceServer:
         for index, predictor in enumerate(self.predictors):
             thread = threading.Thread(
                 target=self._worker_loop,
-                args=(predictor,),
+                args=(index, predictor),
                 name=f"serve-worker-{index}",
                 daemon=True,
             )
@@ -274,14 +308,64 @@ class InferenceServer:
             raise
 
     # ------------------------------------------------------------------
+    # stateful request path (the server owns the user's history)
+    # ------------------------------------------------------------------
+    @property
+    def stateful(self) -> bool:
+        return self.state_store is not None
+
+    def checkin(self, event: CheckinEvent) -> AppendResult:
+        """Ingest one check-in into the server-owned user state.
+
+        Appends to the sharded store, rolls the session at the Δt gap
+        boundary, and retires the user's stale QR-P graph entry from
+        every worker's cache.  Raises ``RuntimeError`` on a stateless
+        server and ``ValueError`` for out-of-order arrivals.
+        """
+        if self.stream is None:
+            raise RuntimeError(
+                "this server is stateless; construct it with a state_store "
+                "(CLI: repro serve --stateful)"
+            )
+        return self.stream.ingest(event)
+
+    def submit_user(self, user_id: int) -> Future:
+        """Queue a history-less prediction for a stored user.
+
+        The user's history and open-session prefix are resolved from
+        the state store *at submit time* — the sample entering the
+        micro-batch is an immutable snapshot, so a check-in ingested
+        while the request waits does not shift its result.  Raises
+        ``KeyError`` for users the store has never seen.
+        """
+        if self.state_store is None:
+            raise RuntimeError(
+                "this server is stateless; construct it with a state_store "
+                "(CLI: repro serve --stateful)"
+            )
+        return self.submit(self.state_store.sample_for(user_id))
+
+    def predict_user(self, user_id: int, timeout: Optional[float] = None) -> PredictorResult:
+        """Blocking :meth:`submit_user` (mirrors :meth:`predict`)."""
+        future = self.submit_user(user_id)
+        try:
+            return future.result(
+                self.config.request_timeout_s if timeout is None else timeout
+            )
+        except FutureTimeoutError:
+            future.cancel()
+            raise
+
+    # ------------------------------------------------------------------
     # worker pool
     # ------------------------------------------------------------------
-    def _worker_loop(self, predictor: Predictor) -> None:
+    def _worker_loop(self, index: int, predictor: Predictor) -> None:
         while True:
             batch = self.scheduler.next_batch()
             if batch is None:  # closed and drained
                 return
             samples = [request.sample for request in batch]
+            self._in_flight[index] = len(batch)
             try:
                 results = predictor.predict_batch(samples)
             except Exception as error:  # contain the blast radius to this batch
@@ -293,6 +377,8 @@ class InferenceServer:
                     except InvalidStateError:
                         pass  # client cancelled; nothing to deliver
                 continue
+            finally:
+                self._in_flight[index] = 0
             completed_at = time.monotonic()
             for request, result in zip(batch, results):
                 # record before resolving: a client that wakes on its
@@ -348,30 +434,48 @@ class InferenceServer:
     def stats(self) -> Dict:
         """One JSON-ready snapshot of the whole runtime.
 
-        ``scheduler`` covers admission (queue depth, rejections),
+        ``scheduler`` covers admission (``queue_depth``, rejections),
         ``batches`` the pooled per-batch execution stats across
-        workers, and ``requests`` end-to-end request latency
-        (enqueue to completion, i.e. queueing + batching delay +
-        inference).
+        workers, ``workers_detail`` each worker's in-flight batch size
+        and lifetime counters, and ``requests`` end-to-end request
+        latency (enqueue to completion, i.e. queueing + batching delay
+        + inference).  ``queue_depth`` + per-worker ``in_flight`` are
+        the backpressure gauges: watching them climb is how operators
+        (and the replay bench) see saturation building *before* the
+        bounded queue starts returning 429s.  Stateful servers add a
+        ``stream`` section (store occupancy + ingest counters).
         """
         batch_window: List[float] = []
         batch_requests = batch_count = refreshes = hits = 0
-        for predictor in self.predictors:
+        workers_detail: List[Dict] = []
+        for index, predictor in enumerate(self.predictors):
             stats = predictor.stats
             batch_window.extend(stats.recent_batch_seconds())
             batch_requests += stats.requests
             batch_count += stats.batches
             refreshes += stats.embedding_refreshes
             hits += stats.embedding_cache_hits
+            workers_detail.append(
+                {
+                    "worker": index,
+                    "in_flight": self._in_flight[index],
+                    "requests": stats.requests,
+                    "batches": stats.batches,
+                }
+            )
         batch_ms = sorted(1000.0 * s for s in batch_window)
         request_stats = self._request_stats.as_dict()
+        scheduler_stats = self.scheduler.stats()
         with self._state_lock:
             failed = self._failed
-        return {
+        out = {
             "running": self.running,
             "workers": len(self.predictors),
             "weights_version": self._primary.weights_version(),
-            "scheduler": self.scheduler.stats(),
+            "queue_depth": scheduler_stats["queue_depth"],
+            "in_flight": sum(w["in_flight"] for w in workers_detail),
+            "workers_detail": workers_detail,
+            "scheduler": scheduler_stats,
             "batches": {
                 "count": batch_count,
                 "requests": batch_requests,
@@ -386,7 +490,7 @@ class InferenceServer:
             "requests": {
                 "completed": request_stats["requests"],
                 "failed": failed,
-                "rejected": self.scheduler.stats()["rejected"],
+                "rejected": scheduler_stats["rejected"],
                 "mean_latency_ms": request_stats["mean_latency_ms"],
                 **{
                     key: request_stats[key]
@@ -394,6 +498,9 @@ class InferenceServer:
                 },
             },
         }
+        if self.stream is not None:
+            out["stream"] = self.stream.stats()
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -448,7 +555,7 @@ def _make_handler(server: InferenceServer):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
         def do_POST(self):
-            if self.path not in ("/predict", "/recommend", "/reload"):
+            if self.path not in ("/predict", "/recommend", "/reload", "/checkin"):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return
             try:
@@ -458,22 +565,88 @@ def _make_handler(server: InferenceServer):
                 return
             if self.path == "/reload":
                 self._reload(payload)
+            elif self.path == "/checkin":
+                self._checkin(payload)
             else:
                 self._infer(payload, recommend=self.path == "/recommend")
+
+        def _checkin(self, payload: Dict) -> None:
+            if not server.stateful:
+                self._send_json(
+                    400,
+                    {"error": "this server is stateless; start it with "
+                              "repro serve --stateful to accept check-ins"},
+                )
+                return
+            try:
+                event = event_from_json(payload, num_pois=server.num_pois)
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            try:
+                result = server.checkin(event)
+            except ValueError as error:
+                # out-of-order arrival: the client's clock conflicts
+                # with already-ingested state, not with the schema
+                self._send_json(409, {"error": str(error)})
+                return
+            self._send_json(200, result.as_dict())
+
+        def _stored_sample(self, payload: Dict):
+            """Resolve a history-less request body against the store.
+
+            Returns ``(sample, None)`` or ``(None, handled)`` after
+            sending the error response.
+            """
+            if not server.stateful:
+                self._send_json(
+                    400,
+                    {"error": "history-less predict needs a stateful server; "
+                              "start it with repro serve --stateful or ship "
+                              "a 'prefix' with the request"},
+                )
+                return None, True
+            user_id = payload.get("user_id")
+            if isinstance(user_id, bool) or not isinstance(user_id, int):
+                self._send_json(400, {"error": "user_id must be an integer"})
+                return None, True
+            try:
+                return server.state_store.sample_for(user_id), None
+            except KeyError:
+                self._send_json(
+                    404, {"error": f"no check-in state for user {user_id}"}
+                )
+                return None, True
 
         def _infer(self, payload: Dict, recommend: bool) -> None:
             k = payload.get("k", 10)
             if isinstance(k, bool) or not isinstance(k, int) or k < 1:
                 self._send_json(400, {"error": "k must be a positive integer"})
                 return
+            # classify the *as-shipped* body before /recommend drops the
+            # target, so both endpoints route a given body identically
+            historyless = not any(
+                key in payload for key in ("prefix", "history", "target")
+            )
             if recommend:
                 payload = dict(payload)
                 payload.pop("target", None)  # recommendations carry no truth
-            try:
-                sample = sample_from_json(payload, num_pois=server.num_pois)
-            except ValueError as error:
-                self._send_json(400, {"error": str(error)})
-                return
+            if historyless:
+                # history-less form: {"user_id": ...} with no shipped
+                # trajectory data at all — the server resolves the
+                # stored history/prefix before batching.  A body that
+                # ships history or a target but no prefix is a broken
+                # *stateless* request and must keep its 400; silently
+                # serving it from stored state would mask the bug.
+                sample, handled = self._stored_sample(payload)
+                if handled:
+                    return
+            else:
+                try:
+                    sample = sample_from_json(payload, num_pois=server.num_pois)
+                except ValueError as error:
+                    self._send_json(400, {"error": str(error)})
+                    return
             try:
                 future = server.submit(sample)
             except QueueFullError as error:
@@ -532,7 +705,10 @@ class HttpFrontend:
 
     Endpoints: ``POST /predict`` and ``POST /recommend`` (see
     :func:`~repro.serve.protocol.sample_from_json` for the body
-    schema), ``POST /reload`` (``{"checkpoint": path}``),
+    schema; on a stateful server a body without ``prefix`` is the
+    history-less form ``{"user_id": ...}`` served from the state
+    store), ``POST /checkin`` (``{"user_id", "poi_id", "timestamp"}``,
+    stateful servers only), ``POST /reload`` (``{"checkpoint": path}``),
     ``GET /healthz`` and ``GET /stats``.  A threading HTTP server
     gives each connection its own thread; those threads block on their
     request futures while the scheduler coalesces them into

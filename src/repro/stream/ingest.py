@@ -1,0 +1,93 @@
+"""Ingestion pipeline: append events, roll sessions, retire stale graphs.
+
+:class:`StreamIngest` is the thin layer between arriving
+:class:`~repro.stream.events.CheckinEvent`\\ s and the serving stack:
+
+* every event is appended to the :class:`~repro.stream.state.UserStateStore`
+  (which rolls sessions at the Δt gap boundary);
+* when an append changes a user's completed-session history, the now-
+  stale QR-P graph entry is dropped from every registered serving cache
+  — **exactly once per ``history_version`` bump**, because the store
+  reports the retired key on precisely the append that moved the
+  version.  This rides ``state_version`` the same way the shared
+  embedding tables ride ``weights_version``: the version is baked into
+  the cache key, so even a missed drop can only waste an LRU slot,
+  never serve a stale graph.
+
+Registered caches are the per-worker QR-P graph LRUs of an
+:class:`~repro.serve.InferenceServer` (or a single offline
+:class:`~repro.serve.Predictor` during replay).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from ..utils.cache import LRUCache
+from .events import CheckinEvent
+from .state import AppendResult, StoreConfig, UserStateStore
+
+
+class StreamIngest:
+    """Append check-ins and keep the serving caches coherent.
+
+    Thread-safe: the store serialises per-user appends on shard locks,
+    cache drops go through the locked :class:`LRUCache`, and the
+    pipeline's own counters sit behind one small lock.
+    """
+
+    def __init__(
+        self,
+        store: Optional[UserStateStore] = None,
+        caches: Iterable[Optional[LRUCache]] = (),
+    ):
+        self.store = store if store is not None else UserStateStore(StoreConfig())
+        self._caches: List[LRUCache] = [c for c in caches if c is not None]
+        self._lock = threading.Lock()
+        self.events = 0
+        self.rollovers = 0
+        self.invalidations = 0  # cache entries actually removed
+
+    def register_cache(self, cache: Optional[LRUCache]) -> None:
+        """Add a serving-layer graph cache to the invalidation set.
+
+        ``None`` is accepted and ignored so callers can pass
+        ``predictor.graph_cache`` unconditionally (models without a
+        graph stage have no cache).
+        """
+        if cache is not None:
+            self._caches.append(cache)
+
+    def register_predictor(self, predictor) -> None:
+        """Register a :class:`~repro.serve.Predictor`'s graph cache."""
+        self.register_cache(getattr(predictor, "graph_cache", None))
+
+    def ingest(self, event: CheckinEvent) -> AppendResult:
+        """Append one event; drop the graph-cache key it made stale."""
+        result = self.store.append(event)
+        dropped = 0
+        if result.invalidated_key is not None:
+            for cache in self._caches:
+                if cache.pop(result.invalidated_key) is not None:
+                    dropped += 1
+        with self._lock:
+            self.events += 1
+            if result.session_rolled:
+                self.rollovers += 1
+            self.invalidations += dropped
+        return result
+
+    def ingest_many(self, events: Iterable[CheckinEvent]) -> List[AppendResult]:
+        return [self.ingest(event) for event in events]
+
+    def stats(self) -> Dict:
+        """Pipeline counters merged with the store's roll-up."""
+        with self._lock:
+            counters = {
+                "ingested": self.events,
+                "rollovers": self.rollovers,
+                "cache_invalidations": self.invalidations,
+                "registered_caches": len(self._caches),
+            }
+        return {**self.store.stats(), **counters}

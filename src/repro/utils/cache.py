@@ -41,6 +41,17 @@ class LRUCache:
             if self.maxsize is not None and len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key``'s value (``default`` if absent).
+
+        Targeted invalidation: the stream ingest pipeline retires a
+        user's stale QR-P graph entry without touching the rest of the
+        cache.  Not counted as a hit or miss — eviction is bookkeeping,
+        not serving traffic.
+        """
+        with self._lock:
+            return self._data.pop(key, default)
+
     def items(self):
         """(key, value) pairs, least- to most-recently used."""
         with self._lock:

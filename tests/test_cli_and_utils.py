@@ -25,6 +25,30 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_stream_replay_parses_and_validates(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["stream-replay", "nyc", "--max-events", "100", "--batch-size", "8"]
+        )
+        assert (args.command, args.preset) == ("stream-replay", "nyc")
+        assert (args.max_events, args.batch_size) == (100, 8)
+        assert main(["stream-replay", "nyc", "--batch-size", "0"]) == 2
+
+    def test_serve_stateful_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "nyc", "--stateful", "--shards", "8", "--max-sessions", "32"]
+        )
+        assert args.stateful and args.shards == 8 and args.max_sessions == 32
+        assert args.gap_hours is None  # defaults to the paper's 72h
+
+    def test_serve_stateful_bad_store_flags_exit_2(self, capsys):
+        assert main(["serve", "nyc", "--stateful", "--shards", "0"]) == 2
+        assert "num_shards" in capsys.readouterr().err
+        assert main(["serve", "nyc", "--stateful", "--gap-hours", "-1"]) == 2
+
     def test_run_requires_valid_id(self):
         with pytest.raises(KeyError):
             main(["run", "table99"])

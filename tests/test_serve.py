@@ -10,11 +10,13 @@ from repro.core.model import PredictionResult
 from repro.data import build_dataset, make_samples, split_samples
 from repro.eval import collect_ranks, evaluate
 from repro.serve import (
+    CHECKPOINT_FORMAT,
     Predictor,
     PredictorProtocol,
     PredictorResult,
     compare_throughput,
     load_checkpoint,
+    read_checkpoint,
     save_checkpoint,
 )
 from repro.train import TrainConfig, Trainer
@@ -225,6 +227,64 @@ class TestCheckpoint:
         other = build_dataset("nyc", seed=1, scale=0.14, imagery_resolution=16)
         with pytest.raises(ValueError, match="POIs"):
             load_checkpoint(path, dataset=other)
+
+    @staticmethod
+    def _rewrite_checkpoint(path, out, meta_patch=None, extra_arrays=None):
+        """Re-write a checkpoint with a patched meta / extra arrays."""
+        import json
+
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        meta = json.loads(arrays.pop("__meta__").item())
+        meta.update(meta_patch or {})
+        arrays.update(extra_arrays or {})
+        with open(out, "wb") as fh:
+            np.savez_compressed(fh, __meta__=np.array(json.dumps(meta)), **arrays)
+        return out
+
+    def test_format_mismatch_names_found_and_supported(self, tiny, trained_tspnra, tmp_path):
+        dataset, _, _ = tiny
+        path = save_checkpoint(trained_tspnra, tmp_path / "v1.npz", dataset=dataset)
+        future = self._rewrite_checkpoint(
+            path, tmp_path / "v9.npz", meta_patch={"format": 9}
+        )
+        with pytest.raises(ValueError) as excinfo:
+            read_checkpoint(future)
+        message = str(excinfo.value)
+        assert "format 9" in message
+        assert f"supports format {CHECKPOINT_FORMAT}" in message
+        with pytest.raises(ValueError, match="format 9"):
+            load_checkpoint(future, dataset=dataset)
+
+    def test_strict_false_tolerates_unknown_extra_keys(self, tiny, trained_tspnra, tmp_path):
+        """Weights-only forward compat: a checkpoint written by a newer
+        schema with additional ``extra::`` side-state still loads with
+        ``strict=False`` (unknown keys ignored and reported), while the
+        default strict load rejects it."""
+        dataset, splits, _ = tiny
+        path = save_checkpoint(trained_tspnra, tmp_path / "v1.npz", dataset=dataset)
+        newer = self._rewrite_checkpoint(
+            path,
+            tmp_path / "newer.npz",
+            extra_arrays={"extra::future_side_state": np.arange(4.0)},
+        )
+        with pytest.raises(KeyError, match="future_side_state"):
+            load_checkpoint(newer, dataset=dataset)
+        loaded = load_checkpoint(newer, dataset=dataset, strict=False)
+        assert loaded.meta["ignored_extra"] == ["future_side_state"]
+        test = splits.test[:10]
+        assert collect_ranks(loaded.model, test) == collect_ranks(trained_tspnra, test)
+
+    def test_strict_false_still_applies_known_extra(self, tiny, tmp_path):
+        """strict=False must not drop extra state the model consumes."""
+        dataset, splits, locations = tiny
+        mc = make_baseline("MC", len(dataset.city.pois), locations)
+        mc.fit(splits.train)
+        path = save_checkpoint(mc, tmp_path / "mc.npz", dataset=dataset)
+        loaded = load_checkpoint(path, dataset=dataset, strict=False)
+        assert "ignored_extra" not in loaded.meta
+        test = splits.test[:20]
+        assert evaluate(loaded.model, test) == evaluate(mc, test)
 
 
 class TestPredictor:
