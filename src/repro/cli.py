@@ -102,6 +102,24 @@ def _build_parser() -> argparse.ArgumentParser:
                               dest="max_sessions",
                               help="per-user bound on completed sessions "
                                    "kept as QR-P history (with --stateful)")
+    serve_parser.add_argument("--persist", default=None, metavar="DIR",
+                              help="durable serving: log every acknowledged "
+                                   "check-in to DIR and recover state from it "
+                                   "on start (implies --stateful)")
+    serve_parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                              help="serve through N shard worker processes "
+                                   "with consistent-hash user routing "
+                                   "(needs --checkpoint and --persist)")
+    serve_parser.add_argument("--fsync", default="rotate",
+                              choices=("always", "rotate", "never"),
+                              help="event-log fsync policy (with --persist): "
+                                   "'always' syncs every ack, 'rotate' syncs "
+                                   "at segment bounds, 'never' trusts OS "
+                                   "writeback (default: rotate)")
+    serve_parser.add_argument("--snapshot-interval", type=int, default=1000,
+                              dest="snapshot_interval",
+                              help="events between state snapshots "
+                                   "(with --persist; default: 1000)")
 
     bench_parser = sub.add_parser(
         "serve-bench", help="benchmark cached vs uncached vs batched throughput"
@@ -169,6 +187,58 @@ def _server_config(args):
         max_wait_ms=args.max_wait_ms,
         max_queue=args.queue_size,
     )
+
+
+def _cmd_serve_cluster(args) -> int:
+    """``repro serve --cluster N --checkpoint CKPT --persist DIR``."""
+    from .cluster import ClusterConfig, ClusterHttpFrontend, ClusterRouter
+    from .data.trajectory import DEFAULT_GAP_HOURS
+
+    if not args.checkpoint:
+        print("serve: --cluster needs --checkpoint (workers attach its "
+              "weights through shared memory)", file=sys.stderr)
+        return 2
+    if not args.persist:
+        print("serve: --cluster needs --persist DIR (each shard keeps its "
+              "event log and snapshots under DIR/shard-NN/)", file=sys.stderr)
+        return 2
+    try:
+        config = ClusterConfig(
+            num_shards=args.cluster,
+            fsync=args.fsync,
+            snapshot_interval=args.snapshot_interval,
+            max_sessions=args.max_sessions,
+            gap_hours=(DEFAULT_GAP_HOURS if args.gap_hours is None
+                       else args.gap_hours),
+            server_workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+        )
+        router = ClusterRouter(args.checkpoint, args.persist, config=config)
+    except FileNotFoundError:
+        print(f"serve: checkpoint not found: {args.checkpoint}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    router.start()
+    front = ClusterHttpFrontend(router, host=args.host, port=args.port)
+    print(f"cluster serving on {front.url}  ({args.cluster} shards, "
+          f"persist={args.persist}, fsync={args.fsync}, "
+          f"snapshot every {args.snapshot_interval} events)")
+    for shard in router.shards:
+        print(f"  shard {shard.spec.shard_index}: pid {shard.pid}  "
+              f"recovery {shard.last_recovery}")
+    print(f"  POST {front.url}/checkin    POST {front.url}/predict")
+    print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
+    try:
+        front.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (final snapshots)...")
+    finally:
+        front.stop()
+        router.stop()
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -267,8 +337,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         from .serve import HttpFrontend, InferenceServer
 
+        if args.cluster is not None:
+            return _cmd_serve_cluster(args)
+
         state_store = None
-        if args.stateful:
+        ingest = None
+        if args.persist:
+            # durable single-process tier: recover, then log every ack
+            from .cluster import DurableIngest, EventLogWriter, recover_store
+            from .data.trajectory import DEFAULT_GAP_HOURS
+            from .stream import StoreConfig
+
+            try:
+                store_config = StoreConfig(
+                    num_shards=args.shards,
+                    max_sessions=args.max_sessions,
+                    gap_hours=(DEFAULT_GAP_HOURS if args.gap_hours is None
+                               else args.gap_hours),
+                )
+                recovery = recover_store(args.persist, config=store_config)
+                log = EventLogWriter(args.persist, fsync=args.fsync,
+                                     next_seq=recovery.last_seq + 1)
+                ingest = DurableIngest(store=recovery.store, log=log,
+                                       snapshot_interval=args.snapshot_interval)
+            except (ValueError, RuntimeError) as error:
+                print(f"serve: {error}", file=sys.stderr)
+                return 2
+            print(f"recovered {len(recovery.store)} users from {args.persist} "
+                  f"(snapshot seq {recovery.snapshot_seq} + {recovery.replayed} "
+                  f"replayed) in {recovery.seconds:.3f}s")
+        elif args.stateful:
             from .data.trajectory import DEFAULT_GAP_HOURS
             from .stream import StoreConfig, UserStateStore
 
@@ -284,10 +382,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
         if args.checkpoint:
             try:
-                server = InferenceServer.from_checkpoint(
-                    args.checkpoint, config=_server_config(args),
-                    state_store=state_store,
-                )
+                loaded_kwargs = dict(config=_server_config(args))
+                if ingest is not None:
+                    loaded_kwargs["ingest"] = ingest
+                else:
+                    loaded_kwargs["state_store"] = state_store
+                from .serve import load_checkpoint
+                loaded = load_checkpoint(args.checkpoint)
+                server = InferenceServer(loaded.model, dataset=loaded.dataset,
+                                         **loaded_kwargs)
             except FileNotFoundError:
                 print(f"serve: checkpoint not found: {args.checkpoint}", file=sys.stderr)
                 return 2
@@ -300,16 +403,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
             model, data = _trained_model(args)
             server = InferenceServer(model, config=_server_config(args),
-                                     dataset=data.dataset, state_store=state_store)
+                                     dataset=data.dataset, state_store=state_store,
+                                     ingest=ingest)
+        stateful = args.stateful or bool(args.persist)
         server.start()
         front = HttpFrontend(server, host=args.host, port=args.port)
         print(f"serving on {front.url}  (workers={server.config.workers}, "
               f"max_batch_size={server.config.max_batch_size}, "
               f"max_wait_ms={server.config.max_wait_ms}"
-              + (f", stateful: {args.shards} shards" if args.stateful else "")
+              + (f", stateful: {args.shards} shards" if stateful else "")
+              + (f", durable: {args.persist} [{args.fsync}]" if args.persist else "")
               + ")")
         print(f"  POST {front.url}/predict    POST {front.url}/recommend")
-        if args.stateful:
+        if stateful:
             print(f"  POST {front.url}/checkin    POST {front.url}/predict "
                   "{\"user_id\": ...}")
         print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
@@ -320,6 +426,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             front.stop()
             server.stop(drain=True)
+            if ingest is not None:
+                ingest.maybe_snapshot(force=True)
+                ingest.log.close()
         return 0
 
     if args.command == "serve-bench":

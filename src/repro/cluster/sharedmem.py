@@ -1,0 +1,153 @@
+"""Checkpoint weights in ``multiprocessing.shared_memory``.
+
+PR 4's worker pool shares one checkpoint's weights across *threads* by
+sharing the :class:`~repro.nn.module.Parameter` objects themselves.
+:class:`SharedWeights` extends that zero-copy scheme across the
+``fork``/``spawn`` process boundary: the cluster parent packs every
+``state_dict`` array into one shared-memory block, and each shard
+worker attaches read-only numpy views over the same physical pages —
+N shard processes, one copy of the weights in RAM, under either start
+method.
+
+The manifest (block name + per-array offset/shape/dtype) is plain data,
+so it rides the worker spec through ``spawn`` pickling.  Lifecycle: the
+creating process owns the block and unlinks it on cluster shutdown;
+attachers only ever close.  Views are marked read-only — a worker is an
+inference replica, and scribbling on shared weights would corrupt every
+shard at once.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict
+
+import numpy as np
+
+_ALIGN = 64  # cache-line alignment for each packed array
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedWeights:
+    """One shared-memory block holding a model's parameter arrays."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: Dict,
+        owner: bool,
+    ):
+        self._shm = shm
+        self.manifest = manifest
+        self.owner = owner
+
+    # ------------------------------------------------------------------
+    # creation (parent) / attachment (workers)
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedWeights":
+        """Pack ``arrays`` (e.g. ``model.state_dict()``) into a new block."""
+        entries: Dict[str, Dict] = {}
+        offset = 0
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            entries[name] = {
+                "offset": offset,
+                "shape": list(array.shape),
+                "dtype": str(array.dtype),
+            }
+            offset += _aligned(array.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        manifest = {"shm_name": shm.name, "size": shm.size, "entries": entries}
+        for name, array in arrays.items():
+            entry = entries[name]
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=entry["dtype"],
+                buffer=shm.buf,
+                offset=entry["offset"],
+            )
+            view[...] = array
+            del view  # leave no exported views: unlink() must not hit BufferError
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: Dict) -> "SharedWeights":
+        """Attach to an existing block from its manifest (worker side).
+
+        Python 3.11 registers the name with the resource tracker on
+        attach as well as on create.  Shard workers inherit the
+        *parent's* tracker through ``spawn``, and registration there is
+        an idempotent set-add — so attaching is tracker-neutral and the
+        owner's single ``unlink`` is the one cleanup.  (Do not
+        ``resource_tracker.unregister`` here: with a shared tracker
+        that would erase the owner's registration out from under it.)
+        """
+        shm = shared_memory.SharedMemory(name=manifest["shm_name"])
+        return cls(shm, manifest, owner=False)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def arrays(self, writeable: bool = False) -> Dict[str, np.ndarray]:
+        """Numpy views over the shared pages (read-only by default)."""
+        out: Dict[str, np.ndarray] = {}
+        for name, entry in self.manifest["entries"].items():
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=entry["dtype"],
+                buffer=self._shm.buf,
+                offset=entry["offset"],
+            )
+            view.flags.writeable = writeable
+            out[name] = view
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:
+            # live views still reference the buffer (e.g. a model keeps
+            # serving); the mapping dies with the process instead
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the block (owner only; attachers merely close)."""
+        if self.owner:
+            self.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def assign_shared_parameters(model, arrays: Dict[str, np.ndarray]) -> int:
+    """Point every model parameter at its shared-memory view, zero-copy.
+
+    The cross-process twin of ``load_state_dict``: same name/shape
+    checks, but the data is *adopted*, not copied — the worker's
+    parameters literally are the parent's pages.  Bumps each
+    parameter's ``version`` so ``weights_version``-keyed caches refresh,
+    and returns the model's new ``weights_version``.
+    """
+    own = dict(model.named_parameters())
+    missing = set(own) - set(arrays)
+    unexpected = set(arrays) - set(own)
+    if missing or unexpected:
+        raise KeyError(
+            f"shared weights mismatch: missing={sorted(missing)} "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for name, parameter in own.items():
+        view = arrays[name]
+        if parameter.data.shape != view.shape:
+            raise ValueError(f"shape mismatch for {name}")
+        parameter.data = view
+        parameter.version += 1
+    return model.weights_version()

@@ -1,0 +1,507 @@
+"""Shard worker subprocesses: one durable ``InferenceServer`` each.
+
+A :class:`ShardWorker` subprocess owns one consistent-hash shard of the
+user space: its own :class:`~repro.stream.state.UserStateStore`, its
+own event log + snapshots under ``<persist>/shard-NN/``, and a full
+:class:`~repro.serve.server.InferenceServer` (micro-batch scheduler and
+predictor pool) whose model weights are zero-copy views into the
+parent's shared-memory block (:mod:`repro.cluster.sharedmem`).
+
+Startup is recovery: the worker main rebuilds the dataset from the
+checkpoint recipe (deterministic — every shard and every restart sees
+the identical dataset), attaches the shared weights, folds its
+persistence directory back into a store, and only then reports ready.
+A SIGKILLed shard restarted by the supervisor therefore comes back
+with the exact acknowledged ``state_version``s it died with.
+
+Two pipes per worker keep supervision honest: data operations
+(check-ins, predictions) travel the *data* pipe, while heartbeats and
+stats travel the *control* pipe, serviced by a dedicated thread — a
+shard grinding through a deep batch queue still answers pings.
+
+Start method defaults to ``spawn``: forking a parent that already runs
+scheduler/HTTP threads would snapshot locks in unknown states.  The
+worker entry point and :class:`WorkerSpec` are module-level and
+plain-data for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..stream.events import event_from_json
+from ..stream.state import StoreConfig
+from .recovery import DurableIngest, recover_store
+from .sharedmem import SharedWeights, assign_shared_parameters
+from .wal import EventLogWriter
+
+logger = logging.getLogger("repro.cluster.worker")
+
+DEFAULT_START_METHOD = "spawn"
+READY_TIMEOUT_S = 60.0
+
+
+class ShardError(RuntimeError):
+    """A shard failed to start, died, or stopped answering."""
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a shard worker needs, shippable through ``spawn``.
+
+    The checkpoint travels as ``meta`` (JSON-safe dict) plus the
+    shared-memory ``manifest`` — never as weight arrays.  Store and
+    server knobs are plain fields so the spec pickles under any start
+    method.
+    """
+
+    shard_index: int
+    persist_dir: str
+    checkpoint_meta: Dict
+    weights_manifest: Dict
+    fsync: str = "rotate"
+    snapshot_interval: int = 1000
+    segment_max_records: int = 10000
+    store_shards: int = 4
+    max_sessions: int = 64
+    max_session_visits: int = 512
+    gap_hours: float = 72.0
+    server_workers: int = 1
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    request_timeout_s: float = 30.0
+
+    def store_config(self) -> StoreConfig:
+        return StoreConfig(
+            num_shards=self.store_shards,
+            max_sessions=self.max_sessions,
+            max_session_visits=self.max_session_visits,
+            gap_hours=self.gap_hours,
+        )
+
+
+def _error(code: int, error: Exception) -> Dict:
+    return {"ok": False, "code": code, "error": str(error)}
+
+
+class _WorkerRuntime:
+    """The in-process half of a shard worker (also used by tests directly)."""
+
+    def __init__(self, spec: WorkerSpec):
+        from ..serve.checkpoint import build_dataset_from_meta, build_model_from_meta
+        from ..serve.protocol import result_to_json, sample_from_json
+        from ..serve.server import InferenceServer, ServerConfig
+
+        self._result_to_json = result_to_json
+        self._sample_from_json = sample_from_json
+        self.spec = spec
+        self.weights = SharedWeights.attach(spec.weights_manifest)
+        dataset = build_dataset_from_meta(spec.checkpoint_meta)
+        model = build_model_from_meta(spec.checkpoint_meta, dataset)
+        assign_shared_parameters(model, self.weights.arrays())
+        model.eval()
+        self.recovery = recover_store(spec.persist_dir, config=spec.store_config())
+        self.log = EventLogWriter(
+            spec.persist_dir,
+            fsync=spec.fsync,
+            segment_max_records=spec.segment_max_records,
+            next_seq=self.recovery.last_seq + 1,
+        )
+        self.ingest = DurableIngest(
+            store=self.recovery.store,
+            log=self.log,
+            snapshot_interval=spec.snapshot_interval,
+        )
+        self.server = InferenceServer(
+            model,
+            config=ServerConfig(
+                workers=spec.server_workers,
+                max_batch_size=spec.max_batch_size,
+                max_wait_ms=spec.max_wait_ms,
+                max_queue=spec.max_queue,
+                request_timeout_s=spec.request_timeout_s,
+            ),
+            dataset=dataset,
+            ingest=self.ingest,
+        )
+        self.server.start()
+        # First-prediction warmup: a fresh interpreter pays one-time
+        # costs on its first batch (graph construction, numpy buffer
+        # and cache allocation) that are ~10x a steady-state predict.
+        # Paying them on a throwaway sample here moves that stall into
+        # startup — before the ready ack, so a shard never joins the
+        # ring cold.
+        warmup = self._sample_from_json(
+            {"prefix": [0]}, num_pois=self.server.num_pois
+        )
+        self.server.predict(warmup, timeout=spec.request_timeout_s)
+
+    # ------------------------------------------------------------------
+    # operations (each returns a JSON-safe reply dict)
+    # ------------------------------------------------------------------
+    def handle(self, request: Dict) -> Dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return _error(400, ValueError(f"unknown op {op!r}"))
+        try:
+            return handler(request)
+        except Exception as error:  # a bug in the op, not the transport
+            logger.exception("shard %d op %r failed", self.spec.shard_index, op)
+            return _error(500, error)
+
+    def _op_checkin(self, request: Dict) -> Dict:
+        try:
+            event = event_from_json(request["event"], num_pois=self.server.num_pois)
+        except ValueError as error:
+            return _error(400, error)
+        try:
+            result = self.ingest.ingest(event)
+        except ValueError as error:
+            # out-of-order arrival: same conflict the single-process
+            # tier maps to HTTP 409 — the router propagates it unchanged
+            return _error(409, error)
+        return {"ok": True, "result": result.as_dict()}
+
+    def _op_predict(self, request: Dict) -> Dict:
+        user_id = request.get("user_id")
+        k = request.get("k", 10)
+        try:
+            future = self.server.submit_user(user_id)
+        except KeyError:
+            return _error(404, KeyError(f"no check-in state for user {user_id}"))
+        except ValueError as error:
+            return _error(400, error)
+        return self._await(future, k)
+
+    def _op_predict_raw(self, request: Dict) -> Dict:
+        try:
+            sample = self._sample_from_json(
+                request["payload"], num_pois=self.server.num_pois
+            )
+        except ValueError as error:
+            return _error(400, error)
+        try:
+            future = self.server.submit(sample)
+        except ValueError as error:
+            return _error(400, error)
+        return self._await(future, request.get("k", 10))
+
+    def _await(self, future, k: int) -> Dict:
+        from ..serve.scheduler import QueueFullError, SchedulerClosedError
+
+        try:
+            result = future.result(self.spec.request_timeout_s)
+        except FutureTimeoutError as error:
+            future.cancel()
+            return _error(504, error)
+        except QueueFullError as error:
+            return _error(429, error)
+        except SchedulerClosedError as error:
+            return _error(503, error)
+        except Exception as error:
+            return _error(500, error)
+        return {"ok": True, "result": self._result_to_json(result, k=k)}
+
+    def _op_stream(self, request: Dict) -> Dict:
+        """Batched ingest with pipelined interleaved predictions.
+
+        One pipe round-trip carries many events (the bench's unit of
+        work): each event is acknowledged individually, and every
+        ``predict_every``-th event is followed by a history-less
+        prediction for its user.  Predictions are *submitted* inline —
+        ``submit_user`` snapshots the store at submit time, so the
+        result reflects exactly the state after that event — but
+        resolved lazily through a bounded window, letting the
+        micro-batch scheduler coalesce them across users while the
+        ingest loop keeps running (the same pipelining the in-process
+        prequential replay gets from ``predict_batch``).
+        """
+        from collections import deque
+
+        from ..serve.scheduler import QueueFullError, SchedulerClosedError
+
+        predict_every = request.get("predict_every", 0)
+        k = request.get("k", 10)
+        acks: List[Dict] = []
+        predictions: List[Dict] = []
+        pending: deque = deque()
+        max_pending = max(4 * self.spec.max_batch_size, 8)
+
+        def drain_one() -> None:
+            user, future = pending.popleft()
+            predictions.append({"user_id": user, **self._await(future, k)})
+
+        for index, payload in enumerate(request["events"]):
+            ack = self._op_checkin({"event": payload})
+            acks.append(ack)
+            if predict_every and ack["ok"] and (index + 1) % predict_every == 0:
+                user = payload["user_id"]
+                try:
+                    future = self.server.submit_user(user)
+                except (QueueFullError, SchedulerClosedError) as error:
+                    predictions.append({"user_id": user, **_error(429, error)})
+                    continue
+                pending.append((user, future))
+                if len(pending) >= max_pending:
+                    drain_one()
+        while pending:
+            drain_one()
+        self.ingest.maybe_snapshot()
+        return {"ok": True, "acks": acks, "predictions": predictions}
+
+    def _op_versions(self, request: Dict) -> Dict:
+        store = self.ingest.store
+        versions = {
+            str(user): {
+                "state_version": store.state_version(user),
+                "history_version": store.snapshot(user).history_version,
+            }
+            for user in store.users()
+        }
+        return {"ok": True, "users": versions}
+
+    def _op_snapshot(self, request: Dict) -> Dict:
+        path = self.ingest.maybe_snapshot(force=True)
+        return {"ok": True, "snapshot": path.name if path else None}
+
+    def _op_stats(self, request: Dict) -> Dict:
+        stats = self.server.stats()
+        stats["shard"] = self.spec.shard_index
+        stats["recovery"] = self.recovery.as_dict()
+        return {"ok": True, "stats": stats}
+
+    def _op_ping(self, request: Dict) -> Dict:
+        return {"ok": True, "pong": request.get("nonce")}
+
+    def close(self, final_snapshot: bool = True) -> None:
+        self.server.stop()
+        if final_snapshot:
+            self.ingest.maybe_snapshot(force=True)
+        self.log.close()
+        self.weights.close()
+
+
+def _control_loop(runtime: _WorkerRuntime, conn) -> None:
+    """Service ping/stats on the control pipe until it closes."""
+    try:
+        while True:
+            request = conn.recv()
+            conn.send(runtime.handle(request))
+    except (EOFError, OSError):
+        return
+
+
+def _shard_worker_main(spec: WorkerSpec, data_conn, ctl_conn) -> None:
+    """Entry point of the shard subprocess (module-level for spawn)."""
+    # A terminal Ctrl-C signals the whole foreground process group;
+    # shards must not die on it mid-write or the parent's graceful
+    # shutdown (drain + final snapshot) never reaches them.  The
+    # parent coordinates shutdown over the control pipe — or SIGKILL,
+    # which is what the recovery path is for.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    logging.basicConfig(level=logging.WARNING)
+    try:
+        runtime = _WorkerRuntime(spec)
+    except Exception as error:
+        payload = _error(500, error)
+        payload["traceback"] = traceback.format_exc()
+        try:
+            ctl_conn.send(payload)
+        except OSError:
+            pass
+        return
+    ctl_conn.send({"ok": True, "ready": True, "recovery": runtime.recovery.as_dict()})
+    control = threading.Thread(
+        target=_control_loop,
+        args=(runtime, ctl_conn),
+        name=f"shard-{spec.shard_index}-control",
+        daemon=True,
+    )
+    control.start()
+    try:
+        while True:
+            try:
+                request = data_conn.recv()
+            except (EOFError, OSError):
+                # parent went away: persist what we have and exit
+                runtime.close(final_snapshot=True)
+                return
+            if request.get("op") == "shutdown":
+                runtime.close(final_snapshot=True)
+                try:
+                    data_conn.send({"ok": True, "stopped": True})
+                except OSError:
+                    pass
+                return
+            data_conn.send(runtime.handle(request))
+    finally:
+        try:
+            data_conn.close()
+        except OSError:
+            pass
+
+
+class ShardHandle:
+    """Parent-side proxy for one shard worker process.
+
+    ``request`` serialises data-pipe round-trips under a lock (any
+    router thread may call in); ``ping``/``control_stats`` use the
+    control pipe so they bypass a busy data plane.  A transport error
+    or timeout marks the shard dead — the supervisor decides whether
+    to restart it.
+    """
+
+    def __init__(self, spec: WorkerSpec, context=None):
+        self.spec = spec
+        self._ctx = context or mp.get_context(DEFAULT_START_METHOD)
+        self._process = None
+        self._data_conn = None
+        self._ctl_conn = None
+        self._data_lock = threading.Lock()
+        self._ctl_lock = threading.Lock()
+        self.dead_reason: Optional[str] = None
+        self.restarts = 0
+        self.last_recovery: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = READY_TIMEOUT_S) -> Dict:
+        """Spawn the worker and block until it reports ready."""
+        if self.alive:
+            raise ShardError(f"shard {self.spec.shard_index} already running")
+        parent_data, child_data = self._ctx.Pipe()
+        parent_ctl, child_ctl = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(self.spec, child_data, child_ctl),
+            name=f"repro-shard-{self.spec.shard_index}",
+            daemon=True,
+        )
+        process.start()
+        child_data.close()
+        child_ctl.close()
+        if not parent_ctl.poll(timeout):
+            process.kill()
+            raise ShardError(
+                f"shard {self.spec.shard_index} not ready after {timeout}s"
+            )
+        ready = parent_ctl.recv()
+        if not ready.get("ok"):
+            process.join(5.0)
+            raise ShardError(
+                f"shard {self.spec.shard_index} failed to start: "
+                f"{ready.get('error')}\n{ready.get('traceback', '')}"
+            )
+        self._process = process
+        self._data_conn = parent_data
+        self._ctl_conn = parent_ctl
+        self.dead_reason = None
+        self.last_recovery = ready.get("recovery")
+        return ready
+
+    @property
+    def alive(self) -> bool:
+        return (
+            self._process is not None
+            and self._process.is_alive()
+            and self.dead_reason is None
+        )
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def _mark_dead(self, reason: str) -> None:
+        self.dead_reason = reason
+
+    def _roundtrip(self, conn, lock, payload: Dict, timeout: float) -> Dict:
+        if conn is None or self.dead_reason is not None:
+            raise ShardError(
+                f"shard {self.spec.shard_index} is down ({self.dead_reason})"
+            )
+        with lock:
+            try:
+                conn.send(payload)
+                if not conn.poll(timeout):
+                    self._mark_dead(f"timeout on {payload.get('op')!r}")
+                    raise ShardError(
+                        f"shard {self.spec.shard_index} timed out on "
+                        f"{payload.get('op')!r} after {timeout}s"
+                    )
+                return conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+                self._mark_dead(f"{type(error).__name__}: {error}")
+                raise ShardError(
+                    f"shard {self.spec.shard_index} transport failed: {error}"
+                ) from error
+
+    def request(self, payload: Dict, timeout: float = 60.0) -> Dict:
+        """One data-plane round-trip (check-ins, predictions, streams)."""
+        return self._roundtrip(self._data_conn, self._data_lock, payload, timeout)
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        try:
+            reply = self._roundtrip(
+                self._ctl_conn, self._ctl_lock, {"op": "ping"}, timeout
+            )
+            return bool(reply.get("ok"))
+        except ShardError:
+            return False
+
+    def control_stats(self, timeout: float = 30.0) -> Dict:
+        return self._roundtrip(self._ctl_conn, self._ctl_lock, {"op": "stats"}, timeout)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: drain, final snapshot, exit."""
+        if self._process is None:
+            return
+        try:
+            if self.dead_reason is None:
+                self.request({"op": "shutdown"}, timeout=timeout)
+        except ShardError:
+            pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(5.0)
+        self._close_conns()
+        self._mark_dead("shutdown")
+
+    def kill(self) -> None:
+        """SIGKILL, no warning — the crash the recovery path is for."""
+        if self._process is not None:
+            self._process.kill()
+            self._process.join(10.0)
+        self._close_conns()
+        self._mark_dead("killed")
+
+    def restart(self, timeout: float = READY_TIMEOUT_S) -> Dict:
+        """Start a fresh process over the same persistence directory."""
+        self._close_conns()
+        self._process = None
+        self.dead_reason = None
+        ready = self.start(timeout=timeout)
+        self.restarts += 1
+        return ready
+
+    def _close_conns(self) -> None:
+        for conn in (self._data_conn, self._ctl_conn):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self._data_conn = None
+        self._ctl_conn = None

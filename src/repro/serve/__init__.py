@@ -38,6 +38,8 @@ from .checkpoint import (
     CHECKPOINT_FORMAT,
     LoadedCheckpoint,
     apply_extra_state,
+    build_dataset_from_meta,
+    build_model_from_meta,
     load_checkpoint,
     read_checkpoint,
     save_checkpoint,
@@ -83,6 +85,8 @@ __all__ = [
     "ServerConfig",
     "compare_throughput",
     "interpolated_percentile",
+    "build_dataset_from_meta",
+    "build_model_from_meta",
     "load_checkpoint",
     "rank_of_target",
     "read_checkpoint",

@@ -120,6 +120,60 @@ def apply_extra_state(model, extra: Dict[str, np.ndarray], strict: bool = True) 
     return {k: v for k, v in extra.items() if k not in known}
 
 
+def build_dataset_from_meta(meta, path="<checkpoint>"):
+    """Rebuild the dataset a checkpoint's ``meta`` recipe describes.
+
+    Shard workers call this directly: the recipe is seeded, so every
+    worker rebuilds the *identical* dataset without shipping it across
+    the process boundary.
+    """
+    from ..data import build_dataset
+
+    recipe = meta.get("dataset")
+    if recipe is None:
+        raise ValueError("checkpoint carries no dataset recipe; pass dataset=")
+    try:
+        return build_dataset(**recipe)
+    except (KeyError, TypeError) as error:
+        # An unknown preset name surfaces as a bare KeyError deep in
+        # build_dataset, and a recipe written by a newer schema can
+        # carry arguments this build_dataset doesn't accept — both
+        # mean "this checkpoint's dataset isn't available here".
+        raise ValueError(
+            f"checkpoint {path!s}: cannot rebuild its dataset from recipe "
+            f"{recipe!r}: {error}"
+        ) from error
+
+
+def build_model_from_meta(meta, dataset, rng=None):
+    """Construct the (unweighted) model skeleton ``meta`` describes.
+
+    The factory half of :func:`load_checkpoint`, exposed for callers
+    that source weights elsewhere — e.g. cluster workers adopting
+    shared-memory views instead of re-reading the ``.npz``.
+    """
+    from ..baselines import make_baseline
+    from ..baselines.markov import MarkovChain
+    from ..core.config import TSPNRAConfig
+    from ..core.model import TSPNRA
+
+    num_pois = len(dataset.city.pois)
+    if num_pois != meta["num_pois"]:
+        raise ValueError(
+            f"dataset has {num_pois} POIs but the checkpoint was trained on {meta['num_pois']}"
+        )
+    name = meta["model_name"]
+    config = meta["model_config"]
+    if name == TSPNRA.name:
+        return TSPNRA.from_dataset(dataset, TSPNRAConfig(**config), rng=rng)
+    if name == MarkovChain.name:
+        return MarkovChain(num_pois, **config)
+    locations = np.array(
+        [dataset.spec.bbox.normalize(x, y) for x, y in dataset.city.pois.xy]
+    )
+    return make_baseline(name, num_pois, locations, dim=config["dim"], rng=rng)
+
+
 def load_checkpoint(path, dataset=None, rng=None, strict: bool = True) -> LoadedCheckpoint:
     """Restore a model saved by :func:`save_checkpoint`.
 
@@ -129,45 +183,10 @@ def load_checkpoint(path, dataset=None, rng=None, strict: bool = True) -> Loaded
     the ignored key names land in ``meta["ignored_extra"]`` so callers
     can surface them.
     """
-    from ..baselines import make_baseline
-    from ..baselines.markov import MarkovChain
-    from ..core.config import TSPNRAConfig
-    from ..core.model import TSPNRA
-    from ..data import build_dataset
-
     meta, params, extra = read_checkpoint(path)
     if dataset is None:
-        recipe = meta.get("dataset")
-        if recipe is None:
-            raise ValueError("checkpoint carries no dataset recipe; pass dataset=")
-        try:
-            dataset = build_dataset(**recipe)
-        except (KeyError, TypeError) as error:
-            # An unknown preset name surfaces as a bare KeyError deep in
-            # build_dataset, and a recipe written by a newer schema can
-            # carry arguments this build_dataset doesn't accept — both
-            # mean "this checkpoint's dataset isn't available here".
-            raise ValueError(
-                f"checkpoint {path!s}: cannot rebuild its dataset from recipe "
-                f"{recipe!r}: {error}"
-            ) from error
-    num_pois = len(dataset.city.pois)
-    if num_pois != meta["num_pois"]:
-        raise ValueError(
-            f"dataset has {num_pois} POIs but the checkpoint was trained on {meta['num_pois']}"
-        )
-
-    name = meta["model_name"]
-    config = meta["model_config"]
-    if name == TSPNRA.name:
-        model = TSPNRA.from_dataset(dataset, TSPNRAConfig(**config), rng=rng)
-    elif name == MarkovChain.name:
-        model = MarkovChain(num_pois, **config)
-    else:
-        locations = np.array(
-            [dataset.spec.bbox.normalize(x, y) for x, y in dataset.city.pois.xy]
-        )
-        model = make_baseline(name, num_pois, locations, dim=config["dim"], rng=rng)
+        dataset = build_dataset_from_meta(meta, path=path)
+    model = build_model_from_meta(meta, dataset, rng=rng)
     model.load_state_dict(params)
     ignored = apply_extra_state(model, extra, strict=strict)
     if ignored:

@@ -165,6 +165,7 @@ class InferenceServer:
         config: Optional[ServerConfig] = None,
         dataset=None,
         state_store: Optional[UserStateStore] = None,
+        ingest: Optional[StreamIngest] = None,
     ):
         self.config = config or ServerConfig()
         self.dataset = dataset
@@ -198,13 +199,24 @@ class InferenceServer:
         # Stateful serving: the server owns per-user check-in state.
         # The ingest pipeline sees every worker's QR-P graph LRU, so a
         # session rollover retires the stale per-user entry everywhere.
-        self.state_store = state_store
-        self.stream: Optional[StreamIngest] = None
-        if state_store is not None:
-            self.stream = StreamIngest(
-                state_store,
-                caches=[predictor.graph_cache for predictor in self.predictors],
-            )
+        # A caller-supplied ``ingest`` (e.g. repro.cluster's
+        # DurableIngest, which logs every acknowledged event) replaces
+        # the default pipeline; its store becomes the server's.
+        if ingest is not None:
+            if state_store is not None and state_store is not ingest.store:
+                raise ValueError("pass either state_store or ingest, not both")
+            self.state_store = ingest.store
+            self.stream = ingest
+            for predictor in self.predictors:
+                ingest.register_predictor(predictor)
+        else:
+            self.state_store = state_store
+            self.stream = None
+            if state_store is not None:
+                self.stream = StreamIngest(
+                    state_store,
+                    caches=[predictor.graph_cache for predictor in self.predictors],
+                )
 
     @classmethod
     def from_checkpoint(

@@ -327,6 +327,93 @@ class UserStateStore:
             return 0 if state is None else state.state_version
 
     # ------------------------------------------------------------------
+    # persistence hooks (repro.cluster snapshots)
+    # ------------------------------------------------------------------
+    def export_users(self) -> List[Dict]:
+        """Plain-data dump of every user's state, sorted by user id.
+
+        The snapshot writer's input: each entry carries the completed
+        sessions, the open prefix, and the exact version counters, so a
+        :meth:`restore_user` round trip is lossless — replaying the
+        event-log tail on the restored store reproduces the same
+        ``state_version`` sequence the original store would have seen.
+        Per-shard consistency comes from the shard locks; callers that
+        need a *store-wide* consistent cut (the durable worker) must
+        quiesce appends first, which the worker's single-threaded data
+        loop gives for free.
+        """
+        out: List[Dict] = []
+        for shard in self._shards:
+            with shard.lock:
+                for state in shard.users.values():
+                    out.append(
+                        {
+                            "user_id": state.user_id,
+                            "sessions": [
+                                [(v.poi_id, v.timestamp) for v in t.visits]
+                                for t in state.sessions
+                            ],
+                            "open": [(v.poi_id, v.timestamp) for v in state.open_visits],
+                            "state_version": state.state_version,
+                            "history_version": state.history_version,
+                            "last_timestamp": state.last_timestamp,
+                        }
+                    )
+        out.sort(key=lambda entry: entry["user_id"])
+        return out
+
+    def restore_user(
+        self,
+        user_id: int,
+        sessions: List[List[Tuple[int, float]]],
+        open_visits: List[Tuple[int, float]],
+        state_version: int,
+        history_version: int,
+        last_timestamp: float,
+    ) -> None:
+        """Re-insert one exported user (snapshot recovery).
+
+        Counters and occupancy gauges are restored exactly, so a
+        recovered store is indistinguishable from one that ingested the
+        same events live.  Raises ``ValueError`` if the user already has
+        state — recovery must run before any live traffic.
+        """
+        shard = self._shard_of(user_id)
+        with shard.lock:
+            if user_id in shard.users:
+                raise ValueError(f"cannot restore user {user_id}: state already present")
+            state = _UserState(user_id, self.config.max_sessions)
+            for visits in sessions:
+                state.sessions.append(
+                    Trajectory(
+                        user_id=user_id,
+                        visits=[Visit(poi_id=int(p), timestamp=float(t)) for p, t in visits],
+                    )
+                )
+            state.open_visits = [
+                Visit(poi_id=int(p), timestamp=float(t)) for p, t in open_visits
+            ]
+            state.state_version = int(state_version)
+            state.history_version = int(history_version)
+            state.last_timestamp = float(last_timestamp)
+            shard.users[user_id] = state
+            shard.open_visits += len(state.open_visits)
+            shard.held_sessions += len(state.sessions)
+
+    def restore_counters(self, events: int = 0, rollovers: int = 0, forced_rolls: int = 0) -> None:
+        """Carry lifetime counters across a snapshot/recovery cycle.
+
+        The totals land on shard 0 — :meth:`stats` only ever reports
+        the sum, and per-shard attribution of pre-crash events is not
+        reconstructible (nor needed) after a restore.
+        """
+        shard = self._shards[0]
+        with shard.lock:
+            shard.events += events
+            shard.rollovers += rollovers
+            shard.forced_rolls += forced_rolls
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,410 @@
+"""Multi-process cluster serving: routing, parity, crash recovery, HTTP.
+
+The module-scoped cluster (2 shard subprocesses over a tiny NYC
+checkpoint) is compared against a single-process control
+``InferenceServer`` fed the identical event tape: same acks, same
+``state_version``s, same ranked lists.  The kill-and-recover tests
+SIGKILL a shard mid-ingest and assert the restarted process serves
+exactly the state the control never lost.
+
+Worker processes spawn (~seconds each): everything that can share the
+module cluster does, and the multi-cycle crash loop is marked slow.
+"""
+
+import json
+import os
+import signal
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterHttpFrontend,
+    ClusterRouter,
+    list_segments,
+    list_snapshots,
+)
+from repro.core import TSPNRA, TSPNRAConfig
+from repro.data import build_dataset
+from repro.serve import InferenceServer, load_checkpoint, save_checkpoint
+from repro.stream import StoreConfig, UserStateStore
+from repro.stream.events import events_from_checkins
+from repro.utils import spawn
+
+CFG = dict(dim=16, fusion_layers=1, hgat_layers=1, top_k=4, num_heads=2)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_dataset("nyc", seed=0, scale=0.12, imagery_resolution=16)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tiny_dataset, tmp_path_factory):
+    model = TSPNRA.from_dataset(tiny_dataset, TSPNRAConfig(**CFG), rng=spawn(0))
+    path = tmp_path_factory.mktemp("ckpt") / "tiny.npz"
+    return save_checkpoint(model, path, dataset=tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def event_tape(tiny_dataset):
+    return [
+        {"user_id": e.user_id, "poi_id": e.poi_id, "timestamp": e.timestamp}
+        for e in events_from_checkins(tiny_dataset.checkins)
+    ]
+
+
+def small_cluster_config(**overrides):
+    base = dict(
+        num_shards=2,
+        snapshot_interval=50,
+        segment_max_records=64,
+        heartbeat_interval_s=0.5,
+        heartbeat_timeout_s=5.0,
+        auto_restart=False,  # tests drive restarts explicitly
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def cluster(checkpoint, event_tape, tmp_path_factory):
+    """A 2-shard cluster with the full event tape already ingested."""
+    router = ClusterRouter(
+        checkpoint,
+        tmp_path_factory.mktemp("persist"),
+        config=small_cluster_config(),
+    )
+    router.start()
+    outcome = router.stream_events(event_tape, predict_every=25)
+    assert outcome["rejected"] == 0
+    yield router
+    router.stop()
+
+
+@pytest.fixture(scope="module")
+def control(checkpoint, event_tape):
+    """Single-process replica fed the same tape (never crashes)."""
+    loaded = load_checkpoint(checkpoint)
+    server = InferenceServer(
+        loaded.model,
+        dataset=loaded.dataset,
+        state_store=UserStateStore(StoreConfig(num_shards=4)),
+    )
+    server.start()
+    from repro.stream.events import event_from_json
+
+    for payload in event_tape:
+        server.checkin(event_from_json(payload))
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def frontend(cluster):
+    front = ClusterHttpFrontend(cluster, port=0).start()
+    yield front
+    front.stop()
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+# ----------------------------------------------------------------------
+# cluster vs single-process parity
+# ----------------------------------------------------------------------
+class TestClusterParity:
+    def test_state_versions_match_control(self, cluster, control):
+        versions = cluster.user_versions()
+        store = control.state_store
+        assert sorted(int(u) for u in versions) == store.users()
+        for user in store.users():
+            assert versions[str(user)]["state_version"] == store.state_version(user)
+            assert (
+                versions[str(user)]["history_version"]
+                == store.snapshot(user).history_version
+            )
+
+    def test_ranked_lists_match_control(self, cluster, control):
+        for user in control.state_store.users():
+            reply = cluster.predict_user(user, k=10)
+            assert reply["ok"], reply
+            expected = control.predict_user(user)
+            assert reply["result"]["top_pois"] == expected.ranked_pois[:10]
+
+    def test_users_partition_across_shards(self, cluster, control):
+        users = control.state_store.users()
+        stats = cluster.stats()["cluster"]
+        per_shard = [s["users"] for s in stats["shards"]]
+        assert sum(per_shard) == len(users)
+        assert all(count > 0 for count in per_shard)  # both shards used
+
+    def test_out_of_order_checkin_is_409(self, cluster, event_tape):
+        stale = dict(event_tape[0])
+        stale["timestamp"] = 0.0
+        reply = cluster.checkin(stale)
+        assert not reply["ok"] and reply["code"] == 409
+
+    def test_unknown_user_is_404(self, cluster):
+        reply = cluster.predict_user(99999)
+        assert not reply["ok"] and reply["code"] == 404
+
+    def test_unroutable_checkin_is_400(self, cluster):
+        reply = cluster.checkin({"poi_id": 1, "timestamp": 1.0})
+        assert not reply["ok"] and reply["code"] == 400
+
+
+# ----------------------------------------------------------------------
+# kill-and-recover
+# ----------------------------------------------------------------------
+def sigkill(shard):
+    """Die like a real crash: no atexit, no final snapshot."""
+    os.kill(shard.pid, signal.SIGKILL)
+    shard._process.join(10.0)
+    shard._mark_dead("killed by test")
+
+
+class TestKillAndRecover:
+    def test_sigkill_mid_ingest_recovers_exact_state(
+        self, checkpoint, event_tape, tmp_path
+    ):
+        config = small_cluster_config(snapshot_interval=40)
+        router = ClusterRouter(checkpoint, tmp_path, config=config)
+        router.start()
+        try:
+            half = len(event_tape) // 2
+            router.stream_events(event_tape[:half], predict_every=20)
+            versions_before = router.user_versions()
+            ranked_before = {
+                user: router.predict_user(int(user), k=10)["result"]["top_pois"]
+                for user in versions_before
+            }
+
+            victim = router.shards[1]
+            assert victim.spec.persist_dir  # it has durable state to lose
+            sigkill(victim)
+            ready = router.restart_shard(1)
+            assert ready["ok"]
+            recovery = ready["recovery"]
+            assert recovery["last_seq"] > 0
+
+            # every user's version and ranked list survived the crash
+            assert router.user_versions() == versions_before
+            for user, expected in ranked_before.items():
+                reply = router.predict_user(int(user), k=10)
+                assert reply["ok"], reply
+                assert reply["result"]["top_pois"] == expected
+
+            # the recovered shard keeps ingesting where it left off
+            outcome = router.stream_events(event_tape[half:], predict_every=20)
+            assert outcome["rejected"] == 0
+            assert router.healthz()["status"] == "ok"
+            assert router.shards[1].restarts == 1
+        finally:
+            router.stop()
+
+    def test_recovered_shard_matches_never_crashed_control(
+        self, checkpoint, event_tape, tmp_path
+    ):
+        """Full acceptance shape: crash + restart == control that never died."""
+        config = small_cluster_config(snapshot_interval=40)
+        router = ClusterRouter(checkpoint, tmp_path, config=config)
+        router.start()
+        loaded = load_checkpoint(checkpoint)
+        control = InferenceServer(
+            loaded.model,
+            dataset=loaded.dataset,
+            state_store=UserStateStore(StoreConfig(num_shards=4)),
+        )
+        control.start()
+        try:
+            from repro.stream.events import event_from_json
+
+            half = len(event_tape) // 2
+            router.stream_events(event_tape[:half])
+            sigkill(router.shards[0])
+            router.restart_shard(0)
+            router.stream_events(event_tape[half:])
+            for payload in event_tape:
+                control.checkin(event_from_json(payload))
+
+            versions = router.user_versions()
+            for user in control.state_store.users():
+                assert (
+                    versions[str(user)]["state_version"]
+                    == control.state_store.state_version(user)
+                )
+                reply = router.predict_user(user, k=10)
+                assert reply["ok"], reply
+                assert (
+                    reply["result"]["top_pois"]
+                    == control.predict_user(user).ranked_pois[:10]
+                )
+        finally:
+            control.stop()
+            router.stop()
+
+    def test_snapshots_and_segments_on_disk(self, checkpoint, event_tape, tmp_path):
+        config = small_cluster_config(snapshot_interval=20)
+        router = ClusterRouter(checkpoint, tmp_path, config=config)
+        router.start()
+        try:
+            router.stream_events(event_tape)
+            names = router.snapshot_all()
+            assert all(name for name in names)
+            for index in range(2):
+                shard_dir = tmp_path / f"shard-{index:02d}"
+                assert list_snapshots(shard_dir), "snapshot missing on disk"
+                assert list_segments(shard_dir) is not None
+        finally:
+            router.stop()
+
+    @pytest.mark.slow
+    def test_repeated_crash_cycles_with_supervisor(
+        self, checkpoint, event_tape, tmp_path
+    ):
+        """Crash both shards across cycles; the supervisor auto-restarts."""
+        import time
+
+        config = small_cluster_config(
+            snapshot_interval=30,
+            auto_restart=True,
+            heartbeat_interval_s=0.3,
+        )
+        router = ClusterRouter(checkpoint, tmp_path, config=config)
+        router.start()
+        try:
+            third = len(event_tape) // 3
+            router.stream_events(event_tape[:third])
+            for cycle, index in enumerate((1, 0)):
+                versions_before = router.user_versions()
+                sigkill(router.shards[index])
+                deadline = time.time() + 30.0
+                while time.time() < deadline:
+                    shard = router.shards[index]
+                    if shard.alive and shard.ping(timeout=2.0):
+                        break
+                    time.sleep(0.2)
+                else:
+                    pytest.fail(f"supervisor never recovered shard {index}")
+                assert router.user_versions() == versions_before
+                start = (cycle + 1) * third
+                outcome = router.stream_events(
+                    event_tape[start : start + third]
+                )
+                assert outcome["rejected"] == 0
+            assert router.restarts_total == 2
+            assert router.healthz()["status"] == "ok"
+        finally:
+            router.stop()
+
+
+# ----------------------------------------------------------------------
+# HTTP surface
+# ----------------------------------------------------------------------
+class TestClusterHttp:
+    def test_healthz_lists_every_shard(self, frontend):
+        status, body = _get(frontend.url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert [s["shard"] for s in body["shards"]] == [0, 1]
+        assert all(s["status"] == "ok" for s in body["shards"])
+
+    def test_stats_has_cluster_section(self, frontend, event_tape):
+        status, body = _get(frontend.url + "/stats")
+        assert status == 200
+        cluster = body["cluster"]
+        assert cluster["num_shards"] == 2
+        totals = cluster["totals"]
+        assert totals["events"] >= len(event_tape)
+        assert {"queue_depth", "in_flight", "users"} <= set(totals)
+        for shard in cluster["shards"]:
+            assert {"queue_depth", "in_flight", "users", "durability"} <= set(shard)
+            assert shard["durability"]["last_seq"] > 0
+
+    def test_checkin_conflict_propagates_as_409(self, frontend, event_tape):
+        stale = dict(event_tape[0])
+        stale["timestamp"] = 0.0
+        status, body = _post(frontend.url + "/checkin", stale)
+        assert status == 409
+        assert "error" in body
+
+    def test_checkin_validation_is_400(self, frontend):
+        status, _ = _post(frontend.url + "/checkin", {"user_id": 1})
+        assert status == 400
+        status, _ = _post(
+            frontend.url + "/checkin",
+            {"user_id": 1, "poi_id": 10**9, "timestamp": 1e9},
+        )
+        assert status == 400
+
+    def test_historyless_predict_roundtrip(self, frontend, cluster, control):
+        user = control.state_store.users()[0]
+        status, body = _post(frontend.url + "/predict", {"user_id": user, "k": 5})
+        assert status == 200
+        assert body["top_pois"] == control.predict_user(user).ranked_pois[:5]
+
+    def test_unknown_user_404(self, frontend):
+        status, body = _post(frontend.url + "/predict", {"user_id": 424242})
+        assert status == 404
+
+    def test_stateless_predict_with_prefix(self, frontend, tiny_dataset):
+        user, trajs = next(
+            (u, t) for u, t in tiny_dataset.trajectories.items() if len(t) >= 1
+        )
+        prefix = [
+            {"poi_id": v.poi_id, "timestamp": v.timestamp}
+            for v in trajs[-1].visits[:3]
+        ]
+        status, body = _post(
+            frontend.url + "/predict", {"user_id": user, "prefix": prefix}
+        )
+        assert status == 200
+        assert len(body["top_pois"]) <= 10
+
+    def test_recommend_shape(self, frontend, control):
+        user = control.state_store.users()[0]
+        status, body = _post(frontend.url + "/recommend", {"user_id": user, "k": 3})
+        assert status == 200
+        assert body["user_id"] == user
+        assert len(body["recommendations"]) == 3
+
+    def test_reload_is_501(self, frontend):
+        status, body = _post(frontend.url + "/reload", {"checkpoint": "x.npz"})
+        assert status == 501
+
+    def test_unknown_path_404_and_bad_json_400(self, frontend):
+        status, _ = _get(frontend.url + "/nope")
+        assert status == 404
+        request = urllib.request.Request(
+            frontend.url + "/checkin", data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400

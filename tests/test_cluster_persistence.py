@@ -1,0 +1,469 @@
+"""Durability layer of repro.cluster: WAL, snapshots, recovery, shm.
+
+Everything here is in-process (no subprocesses): the event log's
+torn-write contract, snapshot round-trips, the recovery fold's
+exactness against a never-persisted control store, the DurableIngest
+ack-is-commit ordering, shared-memory weight adoption, and the
+consistent-hash ring's determinism and balance.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DurableIngest,
+    EventLogWriter,
+    HashRing,
+    SharedWeights,
+    SnapshotError,
+    WalCorruptionError,
+    assign_shared_parameters,
+    list_segments,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    read_log,
+    recover_store,
+    save_snapshot,
+)
+from repro.core import TSPNRA, TSPNRAConfig
+from repro.data import build_dataset
+from repro.data.trajectory import PredictionSample
+from repro.serve.predictor import Predictor
+from repro.stream.events import CheckinEvent
+from repro.stream.state import StoreConfig, UserStateStore
+from repro.utils import spawn
+
+CFG = dict(dim=16, fusion_layers=1, hgat_layers=1, top_k=4, num_heads=2)
+
+STORE_CFG = StoreConfig(
+    num_shards=4, max_sessions=8, max_session_visits=16, gap_hours=24.0
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_dataset("nyc", seed=0, scale=0.12, imagery_resolution=16)
+
+
+def ev(user, poi, t):
+    return CheckinEvent(user_id=user, poi_id=poi, timestamp=float(t))
+
+
+def drifting_events(count=60, users=5):
+    """A deterministic event tape with occasional session-gap jumps."""
+    events, t = [], 0.0
+    for i in range(count):
+        t += 0.5 if i % 3 else 30.0  # every third step crosses the gap
+        events.append(ev(i % users, (i * 3) % 11, t))
+    return events
+
+
+# ----------------------------------------------------------------------
+# event log
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_append_read_round_trip(self, tmp_path):
+        events = drifting_events(24)
+        with EventLogWriter(tmp_path, segment_max_records=5) as log:
+            seqs = [log.append(e) for e in events]
+        assert seqs == list(range(1, 25))
+        result = read_log(tmp_path)
+        assert [e for _, e in result.records] == events
+        assert [s for s, _ in result.records] == seqs
+        assert result.last_seq == 24
+        assert result.torn_skipped == 0
+        assert len(list_segments(tmp_path)) == 5  # 24 records, 5 per segment
+
+    def test_min_seq_filters_replayed_prefix(self, tmp_path):
+        events = drifting_events(10)
+        with EventLogWriter(tmp_path) as log:
+            for e in events:
+                log.append(e)
+        result = read_log(tmp_path, min_seq=7)
+        assert [s for s, _ in result.records] == [8, 9, 10]
+
+    def test_next_seq_spans_restarts(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            for e in drifting_events(5):
+                log.append(e)
+        # a restarted writer resumes the dense numbering in a NEW segment
+        with EventLogWriter(tmp_path, next_seq=6) as log:
+            log.append(ev(9, 1, 1e6))
+        result = read_log(tmp_path)
+        assert [s for s, _ in result.records] == [1, 2, 3, 4, 5, 6]
+        assert len(list_segments(tmp_path)) == 2
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            EventLogWriter(tmp_path, fsync="sometimes")
+
+    def test_fsync_always_syncs_every_append(self, tmp_path):
+        log = EventLogWriter(tmp_path, fsync="always")
+        for e in drifting_events(4):
+            log.append(e)
+        assert log.fsyncs == 4
+        log.close()
+        assert log.fsyncs == 5  # close rotates, which also syncs
+
+    def test_fsync_never_never_syncs(self, tmp_path):
+        with EventLogWriter(tmp_path, fsync="never") as log:
+            for e in drifting_events(4):
+                log.append(e)
+        assert log.fsyncs == 0
+
+    def test_torn_final_record_skipped_with_warning(self, tmp_path, caplog):
+        with EventLogWriter(tmp_path) as log:
+            for e in drifting_events(3):
+                log.append(e)
+        segment = list_segments(tmp_path)[-1]
+        with open(segment, "ab") as fh:
+            fh.write(b'{"seq": 4, "user_id": 1, "poi')  # crashed mid-write
+        with caplog.at_level(logging.WARNING, logger="repro.cluster.wal"):
+            result = read_log(tmp_path)
+        assert result.torn_skipped == 1
+        assert result.last_seq == 3  # the torn record was never acknowledged
+        assert any("torn" in record.message for record in caplog.records)
+
+    def test_torn_final_line_with_newline_also_skipped(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            for e in drifting_events(3):
+                log.append(e)
+        segment = list_segments(tmp_path)[-1]
+        with open(segment, "ab") as fh:
+            fh.write(b'{"seq": 4, "user_id"\n')  # terminator made it, body didn't
+        result = read_log(tmp_path)
+        assert result.torn_skipped == 1 and result.last_seq == 3
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            for e in drifting_events(6):
+                log.append(e)
+        segment = list_segments(tmp_path)[0]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[:3] + b"XXXX" + raw[7:])
+        with pytest.raises(WalCorruptionError, match="malformed record"):
+            read_log(tmp_path)
+
+    def test_unterminated_non_final_segment_raises(self, tmp_path):
+        with EventLogWriter(tmp_path, segment_max_records=3) as log:
+            for e in drifting_events(6):
+                log.append(e)
+        first, _ = list_segments(tmp_path)
+        with open(first, "ab") as fh:
+            fh.write(b'{"seq": 99')  # a torn tail buried mid-log = corruption
+        with pytest.raises(WalCorruptionError, match="unterminated"):
+            read_log(tmp_path)
+
+    def test_non_monotonic_seq_raises(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            log.append(ev(1, 1, 1.0))
+            log.append(ev(1, 2, 2.0))
+        segment = list_segments(tmp_path)[0]
+        lines = segment.read_bytes().splitlines(keepends=True)
+        segment.write_bytes(lines[1] + lines[0])  # swap the two records
+        with pytest.raises(WalCorruptionError, match="non-monotonic"):
+            read_log(tmp_path)
+
+    def test_prune_spares_open_segment_and_uncovered_records(self, tmp_path):
+        log = EventLogWriter(tmp_path, segment_max_records=3)
+        for e in drifting_events(10):
+            log.append(e)
+        assert len(list_segments(tmp_path)) == 4  # 3+3+3 closed + 1 open
+        removed = log.prune(upto_seq=7)
+        # segments [1-3] and [4-6] are covered; [7-9] reaches seq 9 > 7
+        assert len(removed) == 2
+        result = read_log(tmp_path, min_seq=7)
+        assert [s for s, _ in result.records] == [8, 9, 10]
+        log.close()
+
+    def test_rotate_drops_empty_segment(self, tmp_path):
+        log = EventLogWriter(tmp_path)
+        log.append(ev(1, 1, 1.0))
+        log.rotate()
+        log.rotate()  # nothing written since: no file should appear
+        log.close()
+        assert len(list_segments(tmp_path)) == 1
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+def filled_store(events=None):
+    store = UserStateStore(STORE_CFG)
+    for event in events or drifting_events(57):
+        store.append(event)
+    return store
+
+
+class TestSnapshots:
+    def test_round_trip_exact(self, tmp_path):
+        store = filled_store()
+        path = save_snapshot(store, tmp_path, last_seq=57)
+        assert path.name == "snapshot-000000000057.npz"
+        loaded = load_snapshot(path)
+        assert loaded.last_seq == 57
+        assert len(loaded.store) == len(store)
+        for user in store.users():
+            a, b = loaded.store.snapshot(user), store.snapshot(user)
+            assert a.state_version == b.state_version
+            assert a.history_version == b.history_version
+            assert [t.visits for t in a.history] == [t.visits for t in b.history]
+            assert a.prefix == b.prefix
+            assert a.last_timestamp == b.last_timestamp
+        assert loaded.store.stats() == store.stats()
+
+    def test_round_trip_preserves_append_behaviour(self, tmp_path):
+        """The restored store keeps folding identically to the original."""
+        events = drifting_events(57)
+        store = filled_store(events[:40])
+        loaded = load_snapshot(save_snapshot(store, tmp_path, 40))
+        for event in events[40:]:
+            assert loaded.store.append(event) == store.append(event)
+
+    def test_config_knob_mismatch_raises(self, tmp_path):
+        path = save_snapshot(filled_store(), tmp_path, 57)
+        mismatched = StoreConfig(
+            num_shards=4, max_sessions=8, max_session_visits=16, gap_hours=72.0
+        )
+        with pytest.raises(SnapshotError, match="gap_hours"):
+            load_snapshot(path, config=mismatched)
+
+    def test_lock_striping_may_differ(self, tmp_path):
+        # num_shards is concurrency layout, not semantics
+        path = save_snapshot(filled_store(), tmp_path, 57)
+        relaid = load_snapshot(
+            path,
+            config=StoreConfig(
+                num_shards=1, max_sessions=8, max_session_visits=16, gap_hours=24.0
+            ),
+        )
+        assert len(relaid.store) == 5
+
+    def test_empty_store_round_trips(self, tmp_path):
+        loaded = load_snapshot(save_snapshot(UserStateStore(STORE_CFG), tmp_path, 0))
+        assert len(loaded.store) == 0 and loaded.last_seq == 0
+
+    def test_prune_keeps_newest_two(self, tmp_path):
+        store = filled_store()
+        for seq in (10, 20, 30):
+            save_snapshot(store, tmp_path, seq)
+        (tmp_path / "snapshot-000000000040.npz.tmp").write_bytes(b"torn")
+        prune_snapshots(tmp_path, keep=2)
+        assert [p.name for p in list_snapshots(tmp_path)] == [
+            "snapshot-000000000020.npz",
+            "snapshot-000000000030.npz",
+        ]
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# recovery + DurableIngest
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_recovered_store_matches_never_crashed_control(self, tmp_path):
+        events = drifting_events(57)
+        control = filled_store(events)
+        log = EventLogWriter(tmp_path, segment_max_records=7)
+        durable = DurableIngest(
+            store=UserStateStore(STORE_CFG), log=log, snapshot_interval=10
+        )
+        for event in events:
+            durable.ingest(event)
+            durable.maybe_snapshot()
+        log.close()
+
+        recovered = recover_store(tmp_path, config=STORE_CFG)
+        assert recovered.last_seq == 57
+        assert recovered.snapshot_seq > 0  # a snapshot actually participated
+        assert recovered.replayed == 57 - recovered.snapshot_seq
+        for user in control.users():
+            a = recovered.store.snapshot(user)
+            b = control.snapshot(user)
+            assert a.state_version == b.state_version
+            assert [t.visits for t in a.history] == [t.visits for t in b.history]
+            assert a.prefix == b.prefix
+        assert recovered.store.stats() == control.stats()
+
+    def test_recovery_without_snapshot_is_pure_fold(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            durable = DurableIngest(
+                store=UserStateStore(STORE_CFG), log=log, snapshot_interval=10**9
+            )
+            for event in drifting_events(20):
+                durable.ingest(event)
+        recovered = recover_store(tmp_path, config=STORE_CFG)
+        assert recovered.snapshot_seq == 0 and recovered.replayed == 20
+
+    def test_recovery_skips_torn_tail(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            durable = DurableIngest(
+                store=UserStateStore(STORE_CFG), log=log, snapshot_interval=10**9
+            )
+            for event in drifting_events(10):
+                durable.ingest(event)
+        segment = list_segments(tmp_path)[-1]
+        with open(segment, "ab") as fh:
+            fh.write(b'{"seq": 11, "user')
+        recovered = recover_store(tmp_path, config=STORE_CFG)
+        assert recovered.torn_skipped == 1 and recovered.last_seq == 10
+
+    def test_rejected_event_never_reaches_the_log(self, tmp_path):
+        log = EventLogWriter(tmp_path)
+        durable = DurableIngest(store=UserStateStore(STORE_CFG), log=log)
+        durable.ingest(ev(1, 1, 10.0))
+        with pytest.raises(ValueError):
+            durable.ingest(ev(1, 2, 5.0))  # out of order: rejected, not logged
+        durable.ingest(ev(1, 3, 11.0))
+        log.close()
+        result = read_log(tmp_path)
+        assert [e.poi_id for _, e in result.records] == [1, 3]
+        # recovery replays exactly the acknowledged set -> no replay error
+        recovered = recover_store(tmp_path, config=STORE_CFG)
+        assert recovered.store.state_version(1) == 2
+
+    def test_maybe_snapshot_interval_and_pruning(self, tmp_path):
+        log = EventLogWriter(tmp_path, segment_max_records=4)
+        durable = DurableIngest(
+            store=UserStateStore(STORE_CFG), log=log, snapshot_interval=10
+        )
+        taken = []
+        for event in drifting_events(25):
+            durable.ingest(event)
+            taken.append(durable.maybe_snapshot() is not None)
+        assert sum(taken) == 2  # at events 10 and 20
+        assert durable.snapshots_taken == 2
+        # segments fully covered by the latest snapshot were pruned
+        assert all(
+            int(p.name[4:16]) > 16 for p in list_segments(tmp_path)
+        )  # seq 20 snapshot covers segments [1-4]..[17-20]; [17-20] is open-adjacent
+        stats = durable.stats()["durability"]
+        assert stats["last_seq"] == 25
+        assert stats["snapshots_taken"] == 2
+        assert stats["since_snapshot"] == 5
+        log.close()
+
+    def test_force_snapshot(self, tmp_path):
+        with EventLogWriter(tmp_path) as log:
+            durable = DurableIngest(store=UserStateStore(STORE_CFG), log=log)
+            durable.ingest(ev(1, 1, 1.0))
+            assert durable.maybe_snapshot() is None  # interval not reached
+            path = durable.maybe_snapshot(force=True)
+            assert path is not None and path.exists()
+
+
+# ----------------------------------------------------------------------
+# shared-memory weights
+# ----------------------------------------------------------------------
+class TestSharedWeights:
+    def test_arrays_round_trip_and_are_read_only(self):
+        source = {
+            "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.array([1, 2, 3], dtype=np.int64),
+        }
+        shared = SharedWeights.create(source)
+        try:
+            views = shared.arrays()
+            for name, array in source.items():
+                assert np.array_equal(views[name], array)
+                assert not views[name].flags.writeable
+                with pytest.raises(ValueError):
+                    views[name][...] = 0
+        finally:
+            shared.unlink()
+
+    def test_attach_sees_creator_data(self):
+        source = {"w": np.linspace(0, 1, 7)}
+        owner = SharedWeights.create(source)
+        try:
+            attached = SharedWeights.attach(owner.manifest)
+            assert np.array_equal(attached.arrays()["w"], source["w"])
+            assert not attached.owner
+            attached.close()
+        finally:
+            owner.unlink()
+
+    def test_assign_rejects_name_mismatch(self, tiny_dataset):
+        model = TSPNRA.from_dataset(
+            tiny_dataset, TSPNRAConfig(**CFG), rng=spawn(0)
+        )
+        shared = SharedWeights.create({"bogus": np.zeros(3)})
+        try:
+            with pytest.raises(KeyError, match="mismatch"):
+                assign_shared_parameters(model, shared.arrays())
+        finally:
+            shared.unlink()
+
+    def test_adopted_model_predicts_identically(self, tiny_dataset):
+        weights_owner = TSPNRA.from_dataset(
+            tiny_dataset, TSPNRAConfig(**CFG), rng=spawn(0)
+        )
+        adopter = TSPNRA.from_dataset(
+            tiny_dataset, TSPNRAConfig(**CFG), rng=spawn(1)  # different init
+        )
+        shared = SharedWeights.create(weights_owner.state_dict())
+        try:
+            assign_shared_parameters(adopter, shared.arrays())
+            user, trajs = next(
+                (u, t) for u, t in tiny_dataset.trajectories.items() if len(t) >= 2
+            )
+            sample = PredictionSample(
+                user_id=user,
+                history=trajs[:-1],
+                prefix=list(trajs[-1].visits[:-1]),
+                target=trajs[-1].visits[-1],
+                history_key=("test", user, 0),
+            )
+            a = Predictor(weights_owner).predict(sample)
+            b = Predictor(adopter).predict(sample)
+            assert a.ranked_pois == b.ranked_pois
+            assert a.poi_rank == b.poi_rank
+        finally:
+            shared.unlink()
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        first = HashRing(range(4))
+        second = HashRing(range(4))
+        assert all(
+            first.shard_for(user) == second.shard_for(user) for user in range(500)
+        )
+
+    def test_pinned_routing(self):
+        # md5-based placement is process-independent: these values must
+        # never drift, or a router restart would strand durable state
+        ring = HashRing(range(4))
+        assert [ring.shard_for(user) for user in range(8)] == [
+            ring.shard_for(user) for user in range(8)
+        ]
+        assert ring.shard_for(0) == HashRing(range(4)).shard_for(0)
+
+    def test_reasonable_balance(self):
+        ring = HashRing(range(4))
+        counts = ring.distribution(range(2000))
+        assert min(counts.values()) > 0.6 * (2000 / 4)
+        assert max(counts.values()) < 1.5 * (2000 / 4)
+
+    def test_incremental_reshard(self):
+        users = range(2000)
+        before = HashRing(range(4))
+        after = HashRing(range(5))
+        moved = sum(
+            1 for u in users if before.shard_for(u) != after.shard_for(u)
+        )
+        # consistent hashing moves ~1/5 of users; a modulo ring moves ~4/5
+        assert moved < 0.35 * 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([0, 0])
+        with pytest.raises(ValueError):
+            HashRing([0], vnodes=0)
