@@ -35,6 +35,7 @@ from .wal import (
     WalCorruptionError,
     list_segments,
     read_log,
+    remove_dead_segments,
 )
 
 __all__ = [
@@ -61,4 +62,5 @@ __all__ = [
     "WalCorruptionError",
     "list_segments",
     "read_log",
+    "remove_dead_segments",
 ]

@@ -16,6 +16,7 @@ out-of-order — never reaches the log and can never be replayed).
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,7 +33,7 @@ from .snapshot import (
     prune_snapshots,
     save_snapshot,
 )
-from .wal import EventLogWriter, read_log
+from .wal import EventLogWriter, read_log, remove_dead_segments
 
 logger = logging.getLogger("repro.cluster.recovery")
 
@@ -88,6 +89,10 @@ def recover_store(
     for _, event in log.records:
         store.append(event)
     last_seq = max(snapshot_seq, log.last_seq)
+    # a crash can leave a trailing segment with zero valid records
+    # (empty, or only a torn write); it would collide with the next
+    # writer's exclusive create of wal-<last_seq + 1>
+    remove_dead_segments(directory, last_seq)
     result = RecoveryResult(
         store=store,
         last_seq=last_seq,
@@ -116,11 +121,14 @@ class DurableIngest(StreamIngest):
     Ordering per event: **apply → log → ack**.  The acknowledgement is
     the commit point — an event the store rejects never pollutes the
     log, and an event lost between apply and log was never acknowledged,
-    so dropping it on recovery is correct.  ``maybe_snapshot`` rolls a
-    snapshot (and prunes covered log segments) every
-    ``snapshot_interval`` acknowledged events; the caller must invoke it
-    from the same thread that ingests, which keeps the snapshot's
-    store-state/log-position pairing exact without any locking.
+    so dropping it on recovery is correct.  Apply and log happen under
+    one internal lock, so the log's replay order always matches the
+    store's apply order even when many threads ingest concurrently
+    (the single-process durable tier sits behind a
+    ``ThreadingHTTPServer``).  ``maybe_snapshot`` rolls a snapshot (and
+    prunes covered log segments) every ``snapshot_interval``
+    acknowledged events; it takes the same lock, so any thread may call
+    it and the snapshot's store-state/log-position pairing stays exact.
     """
 
     def __init__(
@@ -139,23 +147,26 @@ class DurableIngest(StreamIngest):
         self.snapshot_interval = snapshot_interval
         self.snapshots_taken = 0
         self._since_snapshot = 0
+        self._lock = threading.RLock()
 
     def ingest(self, event: CheckinEvent) -> AppendResult:
-        result = super().ingest(event)  # raises on out-of-order: nothing logged
-        self.log.append(event)
-        self._since_snapshot += 1
-        return result
+        with self._lock:
+            result = super().ingest(event)  # raises on out-of-order: nothing logged
+            self.log.append(event)
+            self._since_snapshot += 1
+            return result
 
     def maybe_snapshot(self, force: bool = False) -> Optional[Path]:
         """Snapshot if the interval elapsed (or ``force``); prune behind it."""
-        if not force and self._since_snapshot < self.snapshot_interval:
-            return None
-        path = save_snapshot(self.store, self.log.directory, self.log.last_seq)
-        self.log.prune(self.log.last_seq)
-        prune_snapshots(self.log.directory, keep=2)
-        self._since_snapshot = 0
-        self.snapshots_taken += 1
-        return path
+        with self._lock:
+            if not force and self._since_snapshot < self.snapshot_interval:
+                return None
+            path = save_snapshot(self.store, self.log.directory, self.log.last_seq)
+            self.log.prune(self.log.last_seq)
+            prune_snapshots(self.log.directory, keep=2)
+            self._since_snapshot = 0
+            self.snapshots_taken += 1
+            return path
 
     def stats(self) -> Dict:
         out = super().stats()

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -86,11 +87,13 @@ def list_segments(directory) -> List[Path]:
 class EventLogWriter:
     """Appends events to segmented JSON-line log files.
 
-    Single-writer by design: the shard worker's data loop is the only
-    appender, which is what makes ``(append, ack)`` a serialisation
-    point the snapshots can anchor to.  ``next_seq`` seeds the sequence
-    counter — recovery passes ``last_seq + 1`` so the log stays densely
-    numbered across restarts.
+    One writer per log directory, but that writer may be shared by many
+    threads: the single-process durable tier sits behind a
+    ``ThreadingHTTPServer``, so ``append``/``rotate``/``prune`` hold an
+    internal lock, keeping seq numbers dense and monotonic and record
+    lines unterleaved no matter which thread acknowledges the event.
+    ``next_seq`` seeds the sequence counter — recovery passes
+    ``last_seq + 1`` so the log stays densely numbered across restarts.
     """
 
     def __init__(
@@ -113,6 +116,7 @@ class EventLogWriter:
         self.segment_max_records = segment_max_records
         self.segment_max_bytes = segment_max_bytes
         self._next_seq = next_seq
+        self._lock = threading.RLock()  # close -> rotate re-enters
         self._fh = None
         self._segment_path: Optional[Path] = None
         self._segment_records = 0
@@ -148,43 +152,45 @@ class EventLogWriter:
         The Python buffer is always flushed (process-crash durability);
         ``fsync="always"`` additionally syncs to disk before returning.
         """
-        if self._fh is None:
-            self._open_segment()
-        elif (
-            self._segment_records >= self.segment_max_records
-            or self._segment_bytes >= self.segment_max_bytes
-        ):
-            self.rotate()
-            self._open_segment()
-        seq = self._next_seq
-        line = json.dumps({"seq": seq, **event_to_json(event)}) + "\n"
-        data = line.encode("utf-8")
-        self._fh.write(data)
-        self._fh.flush()
-        if self.fsync == "always":
-            os.fsync(self._fh.fileno())
-            self.fsyncs += 1
-        self._next_seq = seq + 1
-        self._segment_records += 1
-        self._segment_bytes += len(data)
-        self.appended += 1
-        return seq
+        with self._lock:
+            if self._fh is None:
+                self._open_segment()
+            elif (
+                self._segment_records >= self.segment_max_records
+                or self._segment_bytes >= self.segment_max_bytes
+            ):
+                self.rotate()
+                self._open_segment()
+            seq = self._next_seq
+            line = json.dumps({"seq": seq, **event_to_json(event)}) + "\n"
+            data = line.encode("utf-8")
+            self._fh.write(data)
+            self._fh.flush()
+            if self.fsync == "always":
+                os.fsync(self._fh.fileno())
+                self.fsyncs += 1
+            self._next_seq = seq + 1
+            self._segment_records += 1
+            self._segment_bytes += len(data)
+            self.appended += 1
+            return seq
 
     def rotate(self) -> None:
         """Close the current segment (fsyncing under ``always``/``rotate``)."""
-        if self._fh is None:
-            return
-        self._fh.flush()
-        if self.fsync in ("always", "rotate"):
-            os.fsync(self._fh.fileno())
-            self.fsyncs += 1
-        self._fh.close()
-        self._fh = None
-        # an empty segment (rotation raced the bound) is just clutter
-        if self._segment_records == 0 and self._segment_path is not None:
-            self._segment_path.unlink(missing_ok=True)
-        self._segment_path = None
-        self.rotations += 1
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.flush()
+            if self.fsync in ("always", "rotate"):
+                os.fsync(self._fh.fileno())
+                self.fsyncs += 1
+            self._fh.close()
+            self._fh = None
+            # an empty segment (rotation raced the bound) is just clutter
+            if self._segment_records == 0 and self._segment_path is not None:
+                self._segment_path.unlink(missing_ok=True)
+            self._segment_path = None
+            self.rotations += 1
 
     def close(self) -> None:
         self.rotate()
@@ -206,21 +212,47 @@ class EventLogWriter:
         next segment's first seq (records are densely numbered), and the
         writer's open segment is never touched.
         """
-        segments = list_segments(self.directory)
-        removed: List[Path] = []
-        for path, following in zip(segments, segments[1:] + [None]):
-            if path == self._segment_path:
-                break
-            if following is None:
-                bound = self._next_seq  # last closed segment ends before next write
-            else:
-                bound = _segment_first_seq(following)
-            if bound - 1 <= upto_seq:
-                path.unlink(missing_ok=True)
-                removed.append(path)
-            else:
-                break  # segments are seq-ordered; later ones reach further
-        return removed
+        with self._lock:
+            segments = list_segments(self.directory)
+            removed: List[Path] = []
+            for path, following in zip(segments, segments[1:] + [None]):
+                if path == self._segment_path:
+                    break
+                if following is None:
+                    bound = self._next_seq  # last closed segment ends before next write
+                else:
+                    bound = _segment_first_seq(following)
+                if bound - 1 <= upto_seq:
+                    path.unlink(missing_ok=True)
+                    removed.append(path)
+                else:
+                    break  # segments are seq-ordered; later ones reach further
+            return removed
+
+
+def remove_dead_segments(directory, last_seq: int) -> List[Path]:
+    """Delete trailing segments that hold no valid record.
+
+    A crash between segment creation and the first complete record
+    leaves ``wal-<last_seq + 1>`` on disk holding nothing replayable
+    (an empty file, or a single torn record).  Recovery seeds the next
+    writer with ``next_seq = last_seq + 1``, whose exclusive create
+    would collide with that leftover and crash-loop the shard under the
+    supervisor — so recovery clears such segments first.  Only segments
+    named past ``last_seq`` can be dead: a segment is named after the
+    first seq written into it, so one holding any valid record would
+    have pushed ``last_seq`` to or past its own name.
+    """
+    removed: List[Path] = []
+    for path in list_segments(directory):
+        first = _segment_first_seq(path)
+        if first is not None and first > last_seq:
+            logger.warning(
+                "removing dead log segment %s (holds no valid record)", path.name
+            )
+            path.unlink(missing_ok=True)
+            removed.append(path)
+    return removed
 
 
 @dataclass

@@ -171,6 +171,9 @@ class _WorkerRuntime:
             # out-of-order arrival: same conflict the single-process
             # tier maps to HTTP 409 — the router propagates it unchanged
             return _error(409, error)
+        # keep the WAL bounded even when check-ins arrive one at a time
+        # (streamed batches also compact at their tail)
+        self.ingest.maybe_snapshot()
         return {"ok": True, "result": result.as_dict()}
 
     def _op_predict(self, request: Dict) -> Dict:
@@ -360,6 +363,13 @@ class ShardHandle:
     control pipe so they bypass a busy data plane.  A transport error
     or timeout marks the shard dead — the supervisor decides whether
     to restart it.
+
+    Connections are generation-tagged: each successful ``start`` bumps
+    the generation, and a failure observed on a previous generation's
+    conn (a request that was in flight across a restart) is ignored by
+    ``_mark_dead`` — it says nothing about the freshly started process,
+    and honouring it would stamp a healthy shard dead until the next
+    heartbeat pass needlessly restarted it.
     """
 
     def __init__(self, spec: WorkerSpec, context=None):
@@ -370,6 +380,8 @@ class ShardHandle:
         self._ctl_conn = None
         self._data_lock = threading.Lock()
         self._ctl_lock = threading.Lock()
+        self._state_lock = threading.Lock()  # conns + generation + dead_reason
+        self._generation = 0
         self.dead_reason: Optional[str] = None
         self.restarts = 0
         self.last_recovery: Optional[Dict] = None
@@ -404,10 +416,12 @@ class ShardHandle:
                 f"shard {self.spec.shard_index} failed to start: "
                 f"{ready.get('error')}\n{ready.get('traceback', '')}"
             )
-        self._process = process
-        self._data_conn = parent_data
-        self._ctl_conn = parent_ctl
-        self.dead_reason = None
+        with self._state_lock:
+            self._process = process
+            self._data_conn = parent_data
+            self._ctl_conn = parent_ctl
+            self._generation += 1
+            self.dead_reason = None
         self.last_recovery = ready.get("recovery")
         return ready
 
@@ -423,45 +437,57 @@ class ShardHandle:
     def pid(self) -> Optional[int]:
         return self._process.pid if self._process is not None else None
 
-    def _mark_dead(self, reason: str) -> None:
-        self.dead_reason = reason
+    def _mark_dead(self, reason: str, generation: Optional[int] = None) -> None:
+        """Stamp the shard dead — unless the failure was observed on a
+        conn from a previous generation, i.e. a request that was in
+        flight while the shard restarted underneath it."""
+        with self._state_lock:
+            if generation is not None and generation != self._generation:
+                return
+            self.dead_reason = reason
 
-    def _roundtrip(self, conn, lock, payload: Dict, timeout: float) -> Dict:
-        if conn is None or self.dead_reason is not None:
+    def _roundtrip(self, plane: str, payload: Dict, timeout: float) -> Dict:
+        # conn and generation must be read atomically: a restart between
+        # the two reads would pair the old conn with the new generation,
+        # letting its failure falsely kill the fresh process
+        with self._state_lock:
+            conn = self._data_conn if plane == "data" else self._ctl_conn
+            generation = self._generation
+            dead_reason = self.dead_reason
+        if conn is None or dead_reason is not None:
             raise ShardError(
-                f"shard {self.spec.shard_index} is down ({self.dead_reason})"
+                f"shard {self.spec.shard_index} is down ({dead_reason})"
             )
+        lock = self._data_lock if plane == "data" else self._ctl_lock
         with lock:
             try:
                 conn.send(payload)
                 if not conn.poll(timeout):
-                    self._mark_dead(f"timeout on {payload.get('op')!r}")
+                    self._mark_dead(f"timeout on {payload.get('op')!r}", generation)
                     raise ShardError(
                         f"shard {self.spec.shard_index} timed out on "
                         f"{payload.get('op')!r} after {timeout}s"
                     )
                 return conn.recv()
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
-                self._mark_dead(f"{type(error).__name__}: {error}")
+                self._mark_dead(f"{type(error).__name__}: {error}", generation)
                 raise ShardError(
                     f"shard {self.spec.shard_index} transport failed: {error}"
                 ) from error
 
     def request(self, payload: Dict, timeout: float = 60.0) -> Dict:
         """One data-plane round-trip (check-ins, predictions, streams)."""
-        return self._roundtrip(self._data_conn, self._data_lock, payload, timeout)
+        return self._roundtrip("data", payload, timeout)
 
     def ping(self, timeout: float = 5.0) -> bool:
         try:
-            reply = self._roundtrip(
-                self._ctl_conn, self._ctl_lock, {"op": "ping"}, timeout
-            )
+            reply = self._roundtrip("control", {"op": "ping"}, timeout)
             return bool(reply.get("ok"))
         except ShardError:
             return False
 
     def control_stats(self, timeout: float = 30.0) -> Dict:
-        return self._roundtrip(self._ctl_conn, self._ctl_lock, {"op": "stats"}, timeout)
+        return self._roundtrip("control", {"op": "stats"}, timeout)
 
     def shutdown(self, timeout: float = 30.0) -> None:
         """Graceful stop: drain, final snapshot, exit."""
@@ -488,20 +514,28 @@ class ShardHandle:
         self._mark_dead("killed")
 
     def restart(self, timeout: float = READY_TIMEOUT_S) -> Dict:
-        """Start a fresh process over the same persistence directory."""
+        """Start a fresh process over the same persistence directory.
+
+        Requests still blocked on the old conns fail with a transport
+        error, but their ``_mark_dead`` carries the old generation and
+        is ignored — the restarted shard stays healthy.
+        """
         self._close_conns()
-        self._process = None
-        self.dead_reason = None
+        with self._state_lock:
+            self._process = None
+            self.dead_reason = None
         ready = self.start(timeout=timeout)
         self.restarts += 1
         return ready
 
     def _close_conns(self) -> None:
-        for conn in (self._data_conn, self._ctl_conn):
+        with self._state_lock:
+            conns = (self._data_conn, self._ctl_conn)
+            self._data_conn = None
+            self._ctl_conn = None
+        for conn in conns:
             if conn is not None:
                 try:
                     conn.close()
                 except OSError:
                     pass
-        self._data_conn = None
-        self._ctl_conn = None

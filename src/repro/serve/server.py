@@ -339,7 +339,14 @@ class InferenceServer:
                 "this server is stateless; construct it with a state_store "
                 "(CLI: repro serve --stateful)"
             )
-        return self.stream.ingest(event)
+        result = self.stream.ingest(event)
+        # durable ingest: roll the interval snapshot on the serving path,
+        # so the WAL stays bounded during long-running serving instead of
+        # only compacting at shutdown
+        maybe_snapshot = getattr(self.stream, "maybe_snapshot", None)
+        if maybe_snapshot is not None:
+            maybe_snapshot()
+        return result
 
     def submit_user(self, user_id: int) -> Future:
         """Queue a history-less prediction for a stored user.

@@ -177,6 +177,65 @@ class TestClusterParity:
 
 
 # ----------------------------------------------------------------------
+# durable single-process serving path
+# ----------------------------------------------------------------------
+class TestDurableServingPath:
+    def test_checkin_rolls_interval_snapshots(self, checkpoint, event_tape, tmp_path):
+        """--snapshot-interval must fire during serving, not only at
+        shutdown, or the WAL grows without bound and restart replays
+        the whole log."""
+        from repro.cluster import DurableIngest, EventLogWriter
+        from repro.stream.events import event_from_json
+
+        # explicit rng: the loaded skeleton's init draws are overwritten
+        # by the checkpoint weights, and letting them hit the process
+        # default generator would shift dropout streams of later
+        # training tests
+        loaded = load_checkpoint(checkpoint, rng=spawn(42))
+        log = EventLogWriter(tmp_path)
+        ingest = DurableIngest(
+            store=UserStateStore(StoreConfig(num_shards=4)),
+            log=log,
+            snapshot_interval=10,
+        )
+        server = InferenceServer(loaded.model, dataset=loaded.dataset, ingest=ingest)
+        server.start()
+        try:
+            for payload in event_tape[:25]:
+                server.checkin(event_from_json(payload))
+        finally:
+            server.stop()
+            log.close()
+        assert ingest.snapshots_taken == 2  # at events 10 and 20, mid-serving
+        assert list_snapshots(tmp_path)
+
+
+class TestShardHandleGenerations:
+    def test_stale_mark_dead_is_ignored(self):
+        """A transport failure observed on a pre-restart conn must not
+        stamp the freshly restarted shard dead."""
+        from repro.cluster import ShardHandle, WorkerSpec
+
+        handle = ShardHandle(
+            WorkerSpec(
+                shard_index=0,
+                persist_dir="unused",
+                checkpoint_meta={},
+                weights_manifest={},
+            )
+        )
+        stale = handle._generation
+        handle._generation += 1  # what a restart's start() does
+        handle._mark_dead("OSError: broken pipe", stale)
+        assert handle.dead_reason is None  # stale failure ignored
+        handle._mark_dead("timeout on 'predict'", handle._generation)
+        assert handle.dead_reason is not None  # current-generation applies
+        handle.dead_reason = None
+        handle._mark_dead("killed")  # untagged (kill/shutdown) always applies
+        assert handle.dead_reason == "killed"
+
+
+# ----------------------------------------------------------------------
 # kill-and-recover
 # ----------------------------------------------------------------------
 def sigkill(shard):

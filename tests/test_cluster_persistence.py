@@ -8,6 +8,7 @@ consistent-hash ring's determinism and balance.
 """
 
 import logging
+import threading
 
 import numpy as np
 import pytest
@@ -187,6 +188,29 @@ class TestEventLog:
         log.close()
         assert len(list_segments(tmp_path)) == 1
 
+    def test_concurrent_appends_stay_dense_and_replayable(self, tmp_path):
+        """ThreadingHTTPServer shape: many threads share one writer."""
+        log = EventLogWriter(tmp_path, segment_max_records=16)
+        per_thread = 50
+
+        def appender(user):
+            for i in range(per_thread):
+                log.append(ev(user, i % 11, float(i)))
+
+        threads = [
+            threading.Thread(target=appender, args=(user,)) for user in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        # interleaved writes would produce duplicate/non-monotonic seqs
+        # or torn lines that read_log rejects as corruption
+        result = read_log(tmp_path)
+        assert [s for s, _ in result.records] == list(range(1, 4 * per_thread + 1))
+        assert result.torn_skipped == 0
+
 
 # ----------------------------------------------------------------------
 # snapshots
@@ -344,6 +368,60 @@ class TestRecovery:
         assert stats["snapshots_taken"] == 2
         assert stats["since_snapshot"] == 5
         log.close()
+
+    def test_threaded_ingest_recovers_exactly(self, tmp_path):
+        """Concurrent ingest threads (one user each) must leave a log
+        whose replay reproduces every acknowledged state_version."""
+        log = EventLogWriter(tmp_path, segment_max_records=32)
+        durable = DurableIngest(
+            store=UserStateStore(STORE_CFG), log=log, snapshot_interval=25
+        )
+        per_user = 40
+
+        def ingester(user):
+            t = 0.0
+            for i in range(per_user):
+                t += 0.5 if i % 3 else 30.0
+                durable.ingest(ev(user, (i * 3) % 11, t))
+                durable.maybe_snapshot()  # any thread may roll it now
+
+        threads = [
+            threading.Thread(target=ingester, args=(user,)) for user in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+
+        recovered = recover_store(tmp_path, config=STORE_CFG)
+        assert recovered.last_seq == 4 * per_user
+        for user in durable.store.users():
+            assert recovered.store.state_version(user) == (
+                durable.store.state_version(user)
+            )
+
+    @pytest.mark.parametrize(
+        "leftover",
+        [b"", b'{"seq": 6, "user'],
+        ids=["empty", "torn-first-record"],
+    )
+    def test_recovery_clears_dead_trailing_segment(self, tmp_path, leftover):
+        """A crash can leave wal-<last_seq+1> holding no valid record;
+        recovery must remove it or the next writer's exclusive create
+        collides and the shard crash-loops under the supervisor."""
+        with EventLogWriter(tmp_path) as log:
+            for event in drifting_events(5):
+                log.append(event)
+        (tmp_path / "wal-000000000006.log").write_bytes(leftover)
+
+        recovered = recover_store(tmp_path, config=STORE_CFG)
+        assert recovered.last_seq == 5
+        # the seed recovery hands the writer must not collide on disk
+        with EventLogWriter(tmp_path, next_seq=recovered.last_seq + 1) as log:
+            log.append(ev(9, 1, 1e6))
+        result = read_log(tmp_path)
+        assert [s for s, _ in result.records] == [1, 2, 3, 4, 5, 6]
 
     def test_force_snapshot(self, tmp_path):
         with EventLogWriter(tmp_path) as log:
