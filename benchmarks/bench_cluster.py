@@ -14,7 +14,17 @@ prequential ingest+predict workload through four deployments:
 * **cluster-2 / cluster-4** — the new tier: shard worker subprocesses
   with consistent-hash routing, every acknowledged event logged to a
   per-shard WAL with periodic snapshots, predictions pipelined through
-  each shard's micro-batch scheduler.
+  each shard's micro-batch scheduler;
+* **cluster-4-compiled** — the same 4-shard tier serving captured
+  float64 inference plans.  A prequential ingest replay is the most
+  tracing-hostile workload there is (histories grow and micro-batch
+  sizes churn, so shards keep meeting fresh shape buckets over a tape
+  far too short to amortise them — the plan counters recorded per leg
+  show traces ≈ misses), so this leg is reported separately rather
+  than gated; the compiled path's throughput win is gated in
+  ``bench_serve_throughput.py`` where buckets repeat.  What *is*
+  asserted here is identity: the compiled cluster's post-ingest
+  ranked lists must match the never-crashed single-process control.
 
 After the cluster legs the harness SIGKILLs a shard and times the
 supervisor-path restart (process spawn + dataset rebuild + snapshot
@@ -56,7 +66,7 @@ PASSES = 3
 PASS_GAP_HOURS = 96.0  # > the 72h session-gap rule: each pass is a new session
 
 
-def _cluster_leg(checkpoint, persist_dir, num_shards, payloads):
+def _cluster_leg(checkpoint, persist_dir, leg_name, num_shards, payloads, compiled):
     """Time one full ingest+predict pass through an N-shard cluster."""
     from repro.cluster import ClusterConfig, ClusterRouter
 
@@ -64,6 +74,8 @@ def _cluster_leg(checkpoint, persist_dir, num_shards, payloads):
         num_shards=num_shards,
         snapshot_interval=500,
         max_batch_size=BATCH_SIZE,
+        compile=compiled,
+        plan_dtype="float64",
         # throughput profile: when shard processes oversubscribe the
         # cores, the serve tier's latency-oriented 2ms batch deadline
         # expires before batches fill (a preempted ingest thread stops
@@ -82,14 +94,27 @@ def _cluster_leg(checkpoint, persist_dir, num_shards, payloads):
     outcome = router.stream_events(payloads, predict_every=1)
     seconds = time.perf_counter() - start
     assert outcome["rejected"] == 0, outcome
-    return router, {
-        "leg": f"cluster-{num_shards}",
+    leg = {
+        "leg": leg_name,
         "events": len(payloads),
         "predictions": outcome["predictions"],
         "seconds": round(seconds, 3),
         "events_per_second": round(len(payloads) / seconds, 2),
         "startup_seconds": round(startup_s, 2),
+        "compile": config.compile,
     }
+    if compiled:
+        shard_plans = [
+            shard.get("plans", {})
+            for shard in router.stats()["cluster"]["shards"]
+            if shard.get("status") == "ok"
+        ]
+        leg["plan_dtype"] = config.plan_dtype
+        leg["plans"] = sum(len(p.get("plans", [])) for p in shard_plans)
+        leg["plan_traces"] = sum(p.get("traces", 0) for p in shard_plans)
+        leg["plan_hits"] = sum(p.get("hits", 0) for p in shard_plans)
+        leg["plan_misses"] = sum(p.get("misses", 0) for p in shard_plans)
+    return router, leg
 
 
 def _measure_recovery(router):
@@ -135,7 +160,10 @@ def run_bench(profile=None, save_report=None):
     payloads = [event_to_json(event) for event in events]
 
     # ---- single-process legs (baseline re-measured for the gate) ----
-    predictor = Predictor(model, graph_cache_size=512)
+    # eager on purpose: these model the legacy deployments the durable
+    # tier replaces, and the gate must compare like with like (the
+    # eager cluster legs below)
+    predictor = Predictor(model, graph_cache_size=512, compile=False)
     comparison = compare_replay(
         predictor, events, batch_size=BATCH_SIZE, max_events=MAX_EVENTS
     )
@@ -158,15 +186,25 @@ def run_bench(profile=None, save_report=None):
         # ---- cluster legs ----
         recovery = None
         parity = None
-        for num_shards in (2, 4):
+        plan_legs = (
+            ("cluster-2", 2, False),
+            ("cluster-4", 4, False),
+            ("cluster-4-compiled", 4, True),
+        )
+        for leg_name, num_shards, compiled in plan_legs:
             router, leg = _cluster_leg(
-                checkpoint, tmp / f"persist-{num_shards}", num_shards, payloads
+                checkpoint, tmp / f"persist-{leg_name}", leg_name, num_shards,
+                payloads, compiled,
             )
             try:
-                if num_shards == 2:
+                if leg_name == "cluster-2":
                     recovery = _measure_recovery(router)
-                else:
-                    # ranked-list identity vs a never-crashed control
+                elif compiled:
+                    # ranked-list identity vs a never-crashed control:
+                    # compiled-float64 shards against the serve tier's
+                    # default (also compiled float64, itself identity-
+                    # tested against eager) — the compiled cluster
+                    # surface checked end-to-end after a real ingest
                     loaded = load_checkpoint(checkpoint, dataset=data.dataset)
                     control = InferenceServer(
                         loaded.model,
@@ -192,7 +230,7 @@ def run_bench(profile=None, save_report=None):
                         control.stop()
             finally:
                 router.stop()
-            legs[leg["leg"]] = leg
+            legs[leg_name] = leg
 
     baseline_eps = legs["baseline"]["events_per_second"]
     speedups = {

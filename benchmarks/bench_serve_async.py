@@ -11,14 +11,20 @@ under two batching configurations:
   (MobTCast, SANST) is reported against; concurrency only queues.
 * **batched** — ``max_batch_size=16, max_wait_ms=4``: the dynamic
   micro-batching scheduler coalesces concurrent clients into one
-  vectorised ``predict_batch`` pass.
+  vectorised ``predict_batch`` pass (plans off — pure eager).
+* **compiled** — the batched scheduler serving captured inference
+  plans in float32, the compiled serving configuration; the cell also
+  records the pool-wide plan-cache counters (plans/traces/hits/misses)
+  scraped from the same ``stats()`` surface ``/stats`` exposes.
 
 Per (config, concurrency) cell the run records sustained samples/sec
 and end-to-end per-request latency percentiles (p50/p95/p99, enqueue
 to completion — queueing + batching delay + inference).  The
 acceptance gate asserts the micro-batched server sustains >= 2x the
-serial samples/sec at the highest concurrency.  Alongside the
-human-readable table the run emits
+serial samples/sec at the highest concurrency; the compiled leg's
+speedups over serial and batched are recorded (the hard compiled
+gate lives in ``bench_serve_throughput.py`` where legs interleave).
+Alongside the human-readable table the run emits
 ``benchmarks/results/BENCH_serve_async.json``.  Run standalone with
 ``PYTHONPATH=src python benchmarks/bench_serve_async.py``
 (the CI ``serve-smoke`` job does exactly that and uploads the JSON).
@@ -39,8 +45,20 @@ pytestmark = pytest.mark.slow
 RESULTS_DIR = Path(__file__).parent / "results"
 
 CONFIGS = {
-    "serial": ServerConfig(workers=1, max_batch_size=1, max_wait_ms=0.0, max_queue=4096),
-    "batched": ServerConfig(workers=1, max_batch_size=16, max_wait_ms=4.0, max_queue=4096),
+    "serial": ServerConfig(
+        workers=1, max_batch_size=1, max_wait_ms=0.0, max_queue=4096, compile=False
+    ),
+    "batched": ServerConfig(
+        workers=1, max_batch_size=16, max_wait_ms=4.0, max_queue=4096, compile=False
+    ),
+    "compiled": ServerConfig(
+        workers=1,
+        max_batch_size=16,
+        max_wait_ms=4.0,
+        max_queue=4096,
+        compile=True,
+        plan_dtype="float32",
+    ),
 }
 CONCURRENCY_LEVELS = (4, 16)
 REQUESTS_PER_CLIENT = 24
@@ -102,6 +120,11 @@ def run_bench(profile=None, save_report=None):
             try:
                 _closed_loop(server, samples, clients=2, requests_per_client=WARMUP_REQUESTS)
                 cell = _closed_loop(server, samples, clients, REQUESTS_PER_CLIENT)
+                if server.plan_cache is not None:
+                    plan_stats = server.stats()["plans"]
+                    cell["plans"] = len(plan_stats["plans"])
+                    for counter in ("traces", "hits", "misses"):
+                        cell[f"plan_{counter}"] = plan_stats[counter]
             finally:
                 server.stop(drain=True)
             cell = {"config": config_name, **cell}
@@ -119,7 +142,12 @@ def run_bench(profile=None, save_report=None):
     batched_sps = next(
         c["sps"] for c in cells if c["config"] == "batched" and c["clients"] == top
     )
+    compiled_sps = next(
+        c["sps"] for c in cells if c["config"] == "compiled" and c["clients"] == top
+    )
     speedup = batched_sps / serial_sps if serial_sps > 0 else float("inf")
+    compiled_speedup = compiled_sps / serial_sps if serial_sps > 0 else float("inf")
+    compiled_vs_batched = compiled_sps / batched_sps if batched_sps > 0 else float("inf")
 
     rows = [
         [
@@ -136,8 +164,9 @@ def run_bench(profile=None, save_report=None):
         ["Config", "Clients", "Samples/s", "p50 ms", "p95 ms", "p99 ms"],
         rows,
         title=(
-            "Async serving — serial vs micro-batched under closed-loop load "
-            f"(NYC, {speedup:.2f}x at {top} clients)"
+            "Async serving — serial vs micro-batched vs compiled under closed-loop "
+            f"load (NYC, batched {speedup:.2f}x / compiled {compiled_speedup:.2f}x "
+            f"at {top} clients)"
         ),
     )
     if save_report is not None:
@@ -156,17 +185,21 @@ def run_bench(profile=None, save_report=None):
                 "workers": config.workers,
                 "max_batch_size": config.max_batch_size,
                 "max_wait_ms": config.max_wait_ms,
+                "compile": config.compile,
             }
             for name, config in CONFIGS.items()
         },
         "concurrency_levels": list(CONCURRENCY_LEVELS),
         "requests_per_client": REQUESTS_PER_CLIENT,
+        "plan_dtype": CONFIGS["compiled"].plan_dtype,
         "results": [
             {key: (round(value, 4) if isinstance(value, float) else value)
              for key, value in cell.items()}
             for cell in cells
         ],
         "batched_speedup_at_top_load": round(speedup, 4),
+        "compiled_speedup_at_top_load": round(compiled_speedup, 4),
+        "compiled_vs_batched_at_top_load": round(compiled_vs_batched, 4),
     }
     out = RESULTS_DIR / "BENCH_serve_async.json"
     out.write_text(json.dumps(trajectory_point, indent=2) + "\n")

@@ -1,6 +1,6 @@
 """Serving throughput and latency percentiles — the BENCH_serve harness.
 
-Seeds the BENCH trajectory for the ``repro.serve`` subsystem.  Three
+Seeds the BENCH trajectory for the ``repro.serve`` subsystem.  Five
 legs, slowest to fastest:
 
 * **uncached** — the legacy research loop (``compute_embeddings()``
@@ -9,12 +9,26 @@ legs, slowest to fastest:
   loop (the pre-vectorisation ``Predictor`` behaviour);
 * **batched** — the vectorised ``predict_batch`` path: padded-and-
   masked batch encode plus single-matmul tile/POI ranking, measured
-  per batch so p50/p95/p99 latencies are meaningful.
+  per batch so p50/p95/p99 latencies are meaningful;
+* **compiled** / **compiled_f32** — the batched facade replaying
+  captured inference plans (trace-once, graph-free): float64 is
+  bit-identical to eager (the correctness surface), float32 is the
+  compiled *serving* configuration — plans run float32 end-to-end
+  with dtype-specialised replay kernels.  Plan-cache counters
+  (plans, hits, misses) ride along per leg.  The batched and compiled
+  legs are interleaved round-robin, and each speedup is the median of
+  per-round paired ratios, so shared-host clock drift cancels out.
+
+The acceptance gate is ``compiled_speedup`` — the float32 compiled
+leg vs the eager batched leg — asserted >= 1.5x; ``compiled_f64_speedup``
+tracks the bit-identical replay against the same baseline.
 
 Alongside the human-readable table the run emits
 ``benchmarks/results/BENCH_serve.json`` — the machine-readable BENCH
-trajectory point (samples/sec per leg, batched-vs-per-sample speedup,
-latency percentiles).
+trajectory point (samples/sec per leg, batched-vs-per-sample and
+compiled-vs-batched speedups, latency percentiles, dtype).  Run
+standalone with ``PYTHONPATH=src python benchmarks/bench_serve_throughput.py``
+(the CI ``serve-smoke`` job does exactly that and uploads the JSON).
 """
 
 import json
@@ -22,7 +36,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import format_table, prepare, run_one
+from repro.autograd import get_default_dtype
+from repro.experiments import format_table, get_profile, prepare, run_one
 from repro.serve import compare_throughput
 
 pytestmark = pytest.mark.slow
@@ -31,35 +46,33 @@ RESULTS_DIR = Path(__file__).parent / "results"
 BATCH_SIZE = 16
 
 
-def bench_serve_throughput(benchmark, profile, save_report):
-    small = profile.smaller(0.5)
-    data = prepare("nyc", small)
-    _, model = run_one("TSPN-RA", data, small)
+def run_bench(profile=None, save_report=None):
+    profile = (profile or get_profile("quick")).smaller(0.5)
+    data = prepare("nyc", profile)
+    _, model = run_one("TSPN-RA", data, profile)
     test = data.splits.test[:80]
 
-    report = benchmark.pedantic(
-        compare_throughput,
-        args=(model, test),
-        kwargs={"batch_size": BATCH_SIZE},
-        rounds=1,
-        iterations=1,
-    )
+    report = compare_throughput(model, test, batch_size=BATCH_SIZE, repeats=5)
 
     rows = [[key, f"{value:10.2f}"] for key, value in report.items()]
-    save_report(
-        "serve_throughput",
-        format_table(
-            ["Metric", "Value"],
-            rows,
-            title="Serving throughput — uncached vs cached vs batched (NYC)",
-        ),
+    table = format_table(
+        ["Metric", "Value"],
+        rows,
+        title="Serving throughput — uncached vs cached vs batched vs compiled (NYC)",
     )
+    if save_report is not None:
+        save_report("serve_throughput", table)
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "serve_throughput.txt").write_text(table + "\n")
+        print(table)
 
     RESULTS_DIR.mkdir(exist_ok=True)
     trajectory_point = {
         "bench": "serve",
         "dataset": "nyc",
         "batch_size": BATCH_SIZE,
+        "dtype": str(get_default_dtype()),
         **{key: round(value, 4) for key, value in report.items()},
     }
     out = RESULTS_DIR / "BENCH_serve.json"
@@ -68,3 +81,14 @@ def bench_serve_throughput(benchmark, profile, save_report):
 
     assert report["speedup"] > 1.0, report
     assert report["batched_speedup"] > 1.0, report
+    # acceptance gate: compiled replay beats the eager batched leg
+    assert report["compiled_speedup"] >= 1.5, report
+    return trajectory_point
+
+
+def bench_serve_throughput(profile, save_report):
+    run_bench(profile=profile, save_report=save_report)
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -1,6 +1,7 @@
 """Reverse-mode autodiff engine (the PyTorch substitute for this repo)."""
 
-from .batching import gather_last, pad_stack
+from .batching import gather_at, gather_last, pad_stack
+from .dtype import get_default_dtype, set_default_dtype
 from .functional import (
     conv2d,
     cosine_similarity,
@@ -13,6 +14,8 @@ from .functional import (
     softmax,
 )
 from .gradcheck import gradcheck, numerical_gradient
+from .plan import Plan, PlanError
+from .trace import TraceError, TraceRecorder, active_tracer, trace
 from .tensor import (
     Tensor,
     arange,
@@ -28,15 +31,22 @@ from .tensor import (
 )
 
 __all__ = [
+    "Plan",
+    "PlanError",
     "Tensor",
+    "TraceError",
+    "TraceRecorder",
+    "active_tracer",
     "arange",
     "concat",
     "conv2d",
     "cosine_similarity",
     "cross_entropy",
     "dropout",
+    "gather_at",
     "gather_last",
     "gather_rows",
+    "get_default_dtype",
     "gradcheck",
     "is_grad_enabled",
     "l2_normalize",
@@ -47,9 +57,11 @@ __all__ = [
     "numerical_gradient",
     "ones",
     "pad_stack",
+    "set_default_dtype",
     "softmax",
     "stack",
     "tensor",
+    "trace",
     "where",
     "zeros",
 ]

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .dtype import get_default_dtype
 from .tensor import Tensor
 
 
@@ -49,7 +50,8 @@ def pad_stack(
     h_max = max(counts) if pad_to is None else pad_to
     if pad_to is not None and max(counts, default=0) > pad_to:
         raise ValueError(f"pad_to={pad_to} smaller than longest row {max(counts)}")
-    data = np.zeros((len(rows), h_max, width), dtype=np.float64)
+    dtype = next((r.dtype for r in rows if r is not None), get_default_dtype())
+    data = np.zeros((len(rows), h_max, width), dtype=dtype)
     parents: List[Tensor] = []
     grad_fns = []
     for i, (row, count) in enumerate(zip(rows, counts)):
@@ -70,21 +72,21 @@ def pad_stack(
     return Tensor._make(data, parents, grad_fns, "pad_stack")
 
 
-def gather_last(sequence: Tensor, lengths: Sequence[int]) -> Tensor:
-    """Pick position ``lengths[b] - 1`` from each row of ``(B, L, ...)``.
+def gather_at(sequence: Tensor, positions: Sequence[int]) -> Tensor:
+    """Pick position ``positions[b]`` from each row of ``(B, L, ...)``.
 
-    The standard "output at the real last step" gather for right-padded
-    batches.  Backward scatters the upstream gradient into a zero
-    array; each ``(b, lengths[b]-1)`` slot is distinct, so the scatter
-    is a plain assignment.
+    Backward scatters the upstream gradient into a zero array; each
+    ``(b, positions[b])`` slot is distinct, so the scatter is a plain
+    assignment.  ``positions`` is consumed *as given* (a traced plan
+    takes it as a feed), which is why :func:`gather_last` delegates
+    here instead of deriving ``lengths - 1`` inside the op.
     """
-    lengths = np.asarray(lengths, dtype=np.int64)
-    if lengths.min() < 1:
-        raise ValueError("gather_last needs lengths >= 1")
-    if lengths.max() > sequence.shape[1]:
-        raise ValueError("length exceeds the padded sequence dimension")
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.min() < 0:
+        raise ValueError("gather_at needs positions >= 0")
+    if positions.max() >= sequence.shape[1]:
+        raise ValueError("position exceeds the padded sequence dimension")
     batch_index = np.arange(sequence.shape[0])
-    positions = lengths - 1
     data = sequence.data[batch_index, positions]
     shape = sequence.shape
 
@@ -93,4 +95,21 @@ def gather_last(sequence: Tensor, lengths: Sequence[int]) -> Tensor:
         out[batch_index, positions] = g
         return out
 
-    return Tensor._make(data, (sequence,), (grad_fn,), "gather_last")
+    return Tensor._make(
+        data, (sequence,), (grad_fn,), "gather_at",
+        kernel=lambda out, a, pos: a[batch_index, pos], extra=(positions,),
+    )
+
+
+def gather_last(sequence: Tensor, lengths: Sequence[int]) -> Tensor:
+    """Pick position ``lengths[b] - 1`` from each row of ``(B, L, ...)``.
+
+    The standard "output at the real last step" gather for right-padded
+    batches.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.min() < 1:
+        raise ValueError("gather_last needs lengths >= 1")
+    if lengths.max() > sequence.shape[1]:
+        raise ValueError("length exceeds the padded sequence dimension")
+    return gather_at(sequence, lengths - 1)

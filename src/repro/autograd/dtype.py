@@ -1,0 +1,79 @@
+"""Configurable default floating dtype for the autograd engine.
+
+Historically every literal construction site (``Tensor`` from ints,
+``zeros``/``ones``/``arange``, ``pad_stack``) hard-coded ``float64``.
+That is the right default for training — gradcheck and the golden
+metrics are calibrated at 1e-8/1e-9 — but the compiled inference path
+(see :mod:`repro.autograd.plan`) wants the option of float32
+end-to-end: half the memory bandwidth on a path that never calls
+``backward``.
+
+``set_default_dtype`` switches the process-wide default and returns a
+handle that restores the previous value, so it doubles as a context
+manager::
+
+    set_default_dtype(np.float32)          # permanent switch
+    with set_default_dtype(np.float32):    # scoped switch
+        ...
+
+Reads and writes are lock-guarded, so concurrent serving threads always
+observe a consistent value.  The context form restores the *process*
+default on exit; scoped use is intended for setup code (model
+construction, tests), not for racing per-request switches — compiled
+plans carry their dtype explicitly and never touch this switch at run
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+_FLOAT_DTYPES = (np.dtype(np.float16), np.dtype(np.float32), np.dtype(np.float64))
+
+_lock = threading.Lock()
+_default = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new floating tensors are created with."""
+    return _default
+
+
+class _RestoreDefaultDtype:
+    """Handle returned by :func:`set_default_dtype`.
+
+    Entering is a no-op (the switch already happened); exiting restores
+    the default that was active before the call.
+    """
+
+    __slots__ = ("_previous",)
+
+    def __init__(self, previous: np.dtype):
+        self._previous = previous
+
+    def __enter__(self) -> np.dtype:
+        return get_default_dtype()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _default
+        with _lock:
+            _default = self._previous
+        return False
+
+
+def set_default_dtype(dtype) -> _RestoreDefaultDtype:
+    """Set the default floating dtype (process-wide, effective at once).
+
+    Returns a context-manager handle restoring the previous default, so
+    ``with set_default_dtype(np.float32): ...`` gives a scoped switch.
+    """
+    global _default
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise TypeError(f"default dtype must be a floating dtype, got {resolved}")
+    with _lock:
+        previous = _default
+        _default = resolved
+    return _RestoreDefaultDtype(previous)

@@ -17,6 +17,12 @@ Design notes
   match parameter shapes.
 * A module-level switch (:func:`no_grad`) disables graph construction
   during evaluation, mirroring ``torch.no_grad``.
+* Every op also carries a *replay kernel* — the same numpy expression
+  as the eager forward, packaged as ``kernel(out, *arrays)`` — so that
+  :mod:`repro.autograd.trace` can capture one eager run into a
+  graph-free :class:`~repro.autograd.plan.Plan`.  Kernels mirror the
+  eager computation exactly; a float64 plan replay is bit-identical to
+  the eager pass by construction.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .dtype import get_default_dtype
 
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
@@ -45,6 +53,22 @@ class _GradMode(threading.local):
 
 
 _grad_mode = _GradMode()
+
+
+class _TraceState(threading.local):
+    """Per-thread active trace recorder (``None`` outside ``trace()``).
+
+    Lives here rather than in ``trace.py`` so that :meth:`Tensor._make`
+    — the single funnel every op passes through — can consult it
+    without a circular import.  Thread-local for the same reason grad
+    mode is: one serving thread tracing a plan must not capture ops
+    from its neighbours.
+    """
+
+    tracer = None
+
+
+_trace_state = _TraceState()
 
 
 @contextlib.contextmanager
@@ -91,7 +115,50 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype if dtype is not None else np.float64)
+    return np.asarray(value, dtype=dtype if dtype is not None else get_default_dtype())
+
+
+def _ufunc_kernel(fn) -> Callable:
+    """Replay kernel for a numpy ufunc-style call.
+
+    Writes into the step's reused buffer when numpy accepts it (same
+    shape/dtype after the first run); falls back to a fresh allocation
+    otherwise.  Results are identical either way — ``out=`` only
+    changes where the bytes land.
+    """
+
+    def kernel(out, *args):
+        if out is not None:
+            try:
+                return fn(*args, out=out)
+            except (TypeError, ValueError):
+                pass
+        return fn(*args)
+
+    return kernel
+
+
+_K_ADD = _ufunc_kernel(np.add)
+_K_SUB = _ufunc_kernel(np.subtract)
+_K_MUL = _ufunc_kernel(np.multiply)
+_K_DIV = _ufunc_kernel(np.true_divide)
+_K_NEG = _ufunc_kernel(np.negative)
+_K_MATMUL = _ufunc_kernel(np.matmul)
+_K_EXP = _ufunc_kernel(np.exp)
+_K_LOG = _ufunc_kernel(np.log)
+_K_SQRT = _ufunc_kernel(np.sqrt)
+_K_TANH = _ufunc_kernel(np.tanh)
+_K_ABS = _ufunc_kernel(np.abs)
+_K_SIN = _ufunc_kernel(np.sin)
+_K_COS = _ufunc_kernel(np.cos)
+
+
+def _k_sigmoid(out, a):
+    return 1.0 / (1.0 + np.exp(-a))
+
+
+def _k_relu(out, a):
+    return a * (a > 0)
 
 
 class Tensor:
@@ -101,7 +168,9 @@ class Tensor:
     ----------
     data:
         Anything ``numpy.asarray`` accepts.  Floating point data keeps
-        its dtype; everything else is converted to ``float64``.
+        its dtype; everything else is converted to the engine default
+        (:func:`repro.autograd.get_default_dtype`, ``float64`` unless
+        reconfigured).
     requires_grad:
         Whether gradients should be accumulated into this tensor.
     """
@@ -114,7 +183,7 @@ class Tensor:
             data = data.data
         array = np.asarray(data)
         if not np.issubdtype(array.dtype, np.floating):
-            array = array.astype(np.float64)
+            array = array.astype(get_default_dtype())
         self.data: np.ndarray = array
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
@@ -178,13 +247,26 @@ class Tensor:
         parents: Sequence["Tensor"],
         grad_fns: Sequence[Optional[Callable[[np.ndarray], np.ndarray]]],
         op: str,
+        kernel: Optional[Callable] = None,
+        extra: Sequence = (),
     ) -> "Tensor":
+        """Build an op-result tensor (and record it when tracing).
+
+        ``kernel`` is the op's replay kernel (``kernel(out, *arrays)``,
+        mirroring the eager forward exactly); ``extra`` lists
+        array-valued non-differentiable arguments (masks, index arrays)
+        the kernel needs beyond the parents' data.  Both are ignored in
+        eager mode; a ``None`` kernel makes the op untraceable.
+        """
         requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
             out._grad_fns = tuple(grad_fns)
             out._op = op
+        tracer = _trace_state.tracer
+        if tracer is not None:
+            tracer.record(out, parents, op, kernel, extra)
         return out
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
@@ -259,6 +341,7 @@ class Tensor:
                 lambda g: unbroadcast(g, other.shape),
             ),
             "add",
+            kernel=_K_ADD,
         )
 
     __radd__ = __add__
@@ -274,6 +357,7 @@ class Tensor:
                 lambda g: unbroadcast(-g, other.shape),
             ),
             "sub",
+            kernel=_K_SUB,
         )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
@@ -290,6 +374,7 @@ class Tensor:
                 lambda g: unbroadcast(g * self.data, other.shape),
             ),
             "mul",
+            kernel=_K_MUL,
         )
 
     __rmul__ = __mul__
@@ -305,13 +390,14 @@ class Tensor:
                 lambda g: unbroadcast(-g * self.data / (other.data ** 2), other.shape),
             ),
             "div",
+            kernel=_K_DIV,
         )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        return Tensor._make(-self.data, (self,), (lambda g: -g,), "neg")
+        return Tensor._make(-self.data, (self,), (lambda g: -g,), "neg", kernel=_K_NEG)
 
     def __pow__(self, exponent: Number) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -322,7 +408,9 @@ class Tensor:
         def grad_fn(g: np.ndarray) -> np.ndarray:
             return g * exponent * base ** (exponent - 1)
 
-        return Tensor._make(data, (self,), (grad_fn,), "pow")
+        return Tensor._make(
+            data, (self,), (grad_fn,), "pow", kernel=lambda out, a: a ** exponent
+        )
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -347,7 +435,9 @@ class Tensor:
                 gb = np.swapaxes(a, -1, -2) @ g
             return unbroadcast(gb, b.shape)
 
-        return Tensor._make(data, (self, other), (grad_a, grad_b), "matmul")
+        return Tensor._make(
+            data, (self, other), (grad_a, grad_b), "matmul", kernel=_K_MATMUL
+        )
 
     def __rmatmul__(self, other: ArrayLike) -> "Tensor":
         return self._coerce(other).__matmul__(self)
@@ -370,58 +460,69 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * data,), "exp")
+        return Tensor._make(data, (self,), (lambda g: g * data,), "exp", kernel=_K_EXP)
 
     def log(self) -> "Tensor":
         return Tensor._make(
-            np.log(self.data), (self,), (lambda g: g / self.data,), "log"
+            np.log(self.data), (self,), (lambda g: g / self.data,), "log", kernel=_K_LOG
         )
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
-        return Tensor._make(data, (self,), (lambda g: g / (2.0 * data),), "sqrt")
+        return Tensor._make(
+            data, (self,), (lambda g: g / (2.0 * data),), "sqrt", kernel=_K_SQRT
+        )
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
-        return Tensor._make(data, (self,), (lambda g: g * (1.0 - data ** 2),), "tanh")
+        return Tensor._make(
+            data, (self,), (lambda g: g * (1.0 - data ** 2),), "tanh", kernel=_K_TANH
+        )
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
         return Tensor._make(
-            data, (self,), (lambda g: g * data * (1.0 - data),), "sigmoid"
+            data, (self,), (lambda g: g * data * (1.0 - data),), "sigmoid",
+            kernel=_k_sigmoid,
         )
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         return Tensor._make(
-            self.data * mask, (self,), (lambda g: g * mask,), "relu"
+            self.data * mask, (self,), (lambda g: g * mask,), "relu", kernel=_k_relu
         )
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
         factor = np.where(mask, 1.0, slope)
         return Tensor._make(
-            self.data * factor, (self,), (lambda g: g * factor,), "leaky_relu"
+            self.data * factor, (self,), (lambda g: g * factor,), "leaky_relu",
+            kernel=lambda out, a: a * np.where(a > 0, 1.0, slope),
         )
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
-        return Tensor._make(np.abs(self.data), (self,), (lambda g: g * sign,), "abs")
+        return Tensor._make(
+            np.abs(self.data), (self,), (lambda g: g * sign,), "abs", kernel=_K_ABS
+        )
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
         return Tensor._make(
-            np.clip(self.data, low, high), (self,), (lambda g: g * mask,), "clip"
+            np.clip(self.data, low, high), (self,), (lambda g: g * mask,), "clip",
+            kernel=lambda out, a: np.clip(a, low, high),
         )
 
     def sin(self) -> "Tensor":
         return Tensor._make(
-            np.sin(self.data), (self,), (lambda g: g * np.cos(self.data),), "sin"
+            np.sin(self.data), (self,), (lambda g: g * np.cos(self.data),), "sin",
+            kernel=_K_SIN,
         )
 
     def cos(self) -> "Tensor":
         return Tensor._make(
-            np.cos(self.data), (self,), (lambda g: -g * np.sin(self.data),), "cos"
+            np.cos(self.data), (self,), (lambda g: -g * np.sin(self.data),), "cos",
+            kernel=_K_COS,
         )
 
     # ------------------------------------------------------------------
@@ -441,7 +542,16 @@ class Tensor:
                     g_exp = np.expand_dims(g_exp, ax)
             return np.broadcast_to(g_exp, shape).copy()
 
-        return Tensor._make(data, (self,), (grad_fn,), "sum")
+        def kernel(out, a):
+            if a.dtype == np.float32 and axis in (-1, a.ndim - 1):
+                # float32 plans are tolerance-verified, not bit-exact:
+                # a matmul row-sum sidesteps numpy's per-row reduce
+                # overhead on short last axes
+                s = a @ np.ones(a.shape[-1], dtype=a.dtype)
+                return s[..., None] if keepdims else s
+            return a.sum(axis=axis, keepdims=keepdims)
+
+        return Tensor._make(data, (self,), (grad_fn,), "sum", kernel=kernel)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -470,7 +580,10 @@ class Tensor:
             mask /= mask.sum(axis=axis, keepdims=True)
             return mask * g_exp
 
-        return Tensor._make(data, (self,), (grad_fn,), "max")
+        return Tensor._make(
+            data, (self,), (grad_fn,), "max",
+            kernel=lambda out, a: a.max(axis=axis, keepdims=keepdims),
+        )
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -487,6 +600,7 @@ class Tensor:
             (self,),
             (lambda g: g.reshape(original),),
             "reshape",
+            kernel=lambda out, a: a.reshape(shape),
         )
 
     def flatten(self) -> "Tensor":
@@ -503,6 +617,7 @@ class Tensor:
             (self,),
             (lambda g: g.transpose(inverse),),
             "transpose",
+            kernel=lambda out, a: a.transpose(axes),
         )
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
@@ -511,6 +626,7 @@ class Tensor:
             (self,),
             (lambda g: np.swapaxes(g, a, b),),
             "swapaxes",
+            kernel=lambda out, arr: np.swapaxes(arr, a, b),
         )
 
     def expand_dims(self, axis: int) -> "Tensor":
@@ -519,6 +635,7 @@ class Tensor:
             (self,),
             (lambda g: np.squeeze(g, axis=axis),),
             "expand_dims",
+            kernel=lambda out, a: np.expand_dims(a, axis),
         )
 
     def squeeze(self, axis: int) -> "Tensor":
@@ -527,6 +644,7 @@ class Tensor:
             (self,),
             (lambda g: np.expand_dims(g, axis),),
             "squeeze",
+            kernel=lambda out, a: np.squeeze(a, axis=axis),
         )
 
     def __getitem__(self, index) -> "Tensor":
@@ -540,7 +658,17 @@ class Tensor:
             np.add.at(out, index, g)
             return out
 
-        return Tensor._make(data, (self,), (grad_fn,), "getitem")
+        if isinstance(index, np.ndarray) and index.dtype != np.bool_:
+            # Integer-array gathers take the index as a traced extra so
+            # a replayed plan re-gathers with each batch's indices.
+            return Tensor._make(
+                data, (self,), (grad_fn,), "getitem",
+                kernel=lambda out, a, idx: a[idx], extra=(index,),
+            )
+        return Tensor._make(
+            data, (self,), (grad_fn,), "getitem",
+            kernel=lambda out, a: a[index],
+        )
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -559,7 +687,10 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return grad_fn
 
     grad_fns = [make_grad_fn(offsets[i], offsets[i + 1]) for i in range(len(tensors))]
-    return Tensor._make(data, tensors, grad_fns, "concat")
+    return Tensor._make(
+        data, tensors, grad_fns, "concat",
+        kernel=lambda out, *arrs: np.concatenate(arrs, axis=axis),
+    )
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -574,12 +705,19 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return grad_fn
 
     grad_fns = [make_grad_fn(i) for i in range(len(tensors))]
-    return Tensor._make(data, tensors, grad_fns, "stack")
+    return Tensor._make(
+        data, tensors, grad_fns, "stack",
+        kernel=lambda out, *arrs: np.stack(arrs, axis=axis),
+    )
 
 
 def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise select; gradients flow to both branches through masks."""
-    cond = _as_array(condition).astype(bool)
+    if isinstance(condition, Tensor):
+        condition = condition.data
+    # asarray (not astype) keeps an already-bool array's identity so a
+    # traced plan can link it back to its feed.
+    cond = np.asarray(condition, dtype=bool)
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     data = np.where(cond, a.data, b.data)
@@ -591,6 +729,8 @@ def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
             lambda g: unbroadcast(g * (~cond), b.shape),
         ),
         "where",
+        kernel=lambda out, x, y, c: np.where(c, x, y),
+        extra=(cond,),
     )
 
 
@@ -608,6 +748,7 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
             lambda g: unbroadcast(g * (~take_a), b.shape),
         ),
         "maximum",
+        kernel=lambda out, x, y: np.where(x >= y, x, y),
     )
 
 
@@ -617,12 +758,12 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
 
 def arange(*args, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.arange(*args, dtype=np.float64), requires_grad=requires_grad)
+    return Tensor(np.arange(*args, dtype=get_default_dtype()), requires_grad=requires_grad)

@@ -1,0 +1,268 @@
+"""Trace capture: record one eager run into a replayable :class:`Plan`.
+
+The eager engine already funnels every op through
+:meth:`Tensor._make`; tracing simply turns that funnel into a tape.
+Inside a ``with trace(...) as tr`` block each op additionally records
+``(kernel, input slots, output slot)`` with the active
+:class:`TraceRecorder`, where a *slot* identifies a concrete ndarray by
+object identity.  Arrays announced via :meth:`TraceRecorder.input` are
+dynamic feeds; every other leaf array an op touches (parameters,
+masks built at trace time) is baked into the plan as a constant.
+
+``finalize`` then:
+
+* **folds** every step whose inputs are all static — the trace-time
+  result becomes a baked constant, so parameter-only subexpressions
+  like ``W.transpose()`` cost nothing at replay;
+* **dead-code-eliminates** steps whose results never reach an output;
+* casts floating constants to the plan dtype (float32 plans replay
+  float32 end-to-end while the traced model stays float64);
+* **verifies** the plan by replaying it on the trace feeds and
+  comparing against the traced outputs — bit-exact for same-dtype
+  plans, tolerance-checked for down-cast ones.
+
+Ops without a replay kernel raise :class:`TraceError`; callers treat
+that as "fall back to eager" (see ``repro.serve.plans``).  The cardinal
+hazard of tracing — a *feed-derived* numpy array computed outside
+Tensor ops getting silently baked as a constant — is addressed by
+convention: trace-friendly model stages accept every batch-dependent
+array as an explicit feed (see ``TSPNRA._encode_core``), and the
+verification replay guards the kernels themselves.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .plan import Kernel, Plan, StepArg
+from .tensor import Tensor, _trace_state
+
+__all__ = ["TraceError", "TraceRecorder", "trace", "active_tracer"]
+
+
+class TraceError(RuntimeError):
+    """The traced computation used an op the plan executor cannot replay."""
+
+
+def active_tracer() -> Optional["TraceRecorder"]:
+    """The recorder capturing ops on this thread, if any."""
+    return _trace_state.tracer
+
+
+class TraceRecorder:
+    """Accumulates the op tape for one traced run.
+
+    Not reusable: one recorder captures one run and finalizes one plan.
+    """
+
+    def __init__(self, dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise TraceError(f"plans support float32/float64, got {self.dtype}")
+        # slot -> trace-time array; doubles as a keepalive so id()-keyed
+        # lookups can never collide with a recycled address.
+        self._arrays: List[np.ndarray] = []
+        self._slot_of: Dict[int, int] = {}  # id(array) -> slot
+        self._inputs: Dict[str, int] = {}  # feed name -> slot
+        # (op, kernel, arg slots, out slot) in execution order.
+        self._records: List[Tuple[str, Kernel, Tuple[int, ...], int]] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+    def _register(self, array: np.ndarray) -> int:
+        slot = len(self._arrays)
+        self._arrays.append(array)
+        self._slot_of[id(array)] = slot
+        return slot
+
+    def input(self, name: str, array) -> np.ndarray:
+        """Declare a dynamic feed; returns the exact array to compute with.
+
+        The traced computation must consume the *returned object* (wrap
+        it in a ``Tensor`` for float data, pass it raw for index/mask
+        data) — identity is how ops are linked back to the feed.
+        """
+        if name in self._inputs:
+            raise TraceError(f"duplicate trace input {name!r}")
+        array = np.asarray(array)
+        slot = self._slot_of.get(id(array))
+        if slot is None:
+            slot = self._register(array)
+        self._inputs[name] = slot
+        return array
+
+    def _resolve(self, array: np.ndarray) -> int:
+        slot = self._slot_of.get(id(array))
+        if slot is None:
+            # Unseen leaf: a parameter or trace-time constant.  Whether
+            # it stays constant is decided at finalize by reachability
+            # from the declared inputs.
+            slot = self._register(array)
+        return slot
+
+    def record(
+        self,
+        out: Tensor,
+        parents: Sequence[Tensor],
+        op: str,
+        kernel: Optional[Kernel],
+        extra: Sequence,
+    ) -> None:
+        """Called by ``Tensor._make`` for every op while tracing."""
+        if kernel is None:
+            raise TraceError(f"op {op!r} has no replay kernel")
+        args = [self._resolve(p.data) for p in parents]
+        args.extend(self._resolve(np.asarray(e)) for e in extra)
+        out_slot = self._register(out.data)
+        self._records.append((op, kernel, tuple(args), out_slot))
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def _bake(self, slot: int) -> np.ndarray:
+        array = self._arrays[slot]
+        if np.issubdtype(array.dtype, np.floating) and array.dtype != self.dtype:
+            return array.astype(self.dtype)
+        return array
+
+    def finalize(self, outputs: Sequence[Tensor], verify: bool = True) -> Plan:
+        """Fold, eliminate, renumber and (optionally) verify into a Plan."""
+        if self._finalized:
+            raise TraceError("TraceRecorder.finalize called twice")
+        self._finalized = True
+        if not self._inputs:
+            raise TraceError("trace declared no inputs; nothing is dynamic")
+        out_slots = []
+        for t in outputs:
+            slot = self._slot_of.get(id(t.data))
+            if slot is None:  # output untouched by any traced op
+                slot = self._register(t.data)
+            out_slots.append(slot)
+
+        # Constant folding: a step is live iff any argument is dynamic.
+        dynamic = set(self._inputs.values())
+        live: List[Tuple[str, Kernel, Tuple[int, ...], int]] = []
+        for op, kernel, args, out_slot in self._records:
+            if any(a in dynamic for a in args):
+                dynamic.add(out_slot)
+                live.append((op, kernel, args, out_slot))
+        folded = len(self._records) - len(live)
+
+        # Dead-code elimination, backwards from the outputs.
+        needed = {s for s in out_slots if s in dynamic}
+        kept_reversed = []
+        for op, kernel, args, out_slot in reversed(live):
+            if out_slot in needed:
+                kept_reversed.append((op, kernel, args, out_slot))
+                needed.update(a for a in args if a in dynamic)
+        kept = list(reversed(kept_reversed))
+
+        # Renumber the surviving dynamic slots into a compact table.
+        index_of: Dict[int, int] = {}
+
+        def dyn_index(slot: int) -> int:
+            idx = index_of.get(slot)
+            if idx is None:
+                idx = len(index_of)
+                index_of[slot] = idx
+            return idx
+
+        inputs: Dict[str, Tuple[int, np.dtype, Tuple[int, ...]]] = {}
+        for name, slot in self._inputs.items():
+            array = self._arrays[slot]
+            feed_dtype = (
+                self.dtype
+                if np.issubdtype(array.dtype, np.floating)
+                else array.dtype
+            )
+            inputs[name] = (dyn_index(slot), feed_dtype, array.shape)
+
+        constant_bytes = 0
+        steps: List[Tuple[Kernel, Tuple[StepArg, ...], int, str]] = []
+        for op, kernel, args, out_slot in kept:
+            resolved: List[StepArg] = []
+            for a in args:
+                if a in dynamic:
+                    resolved.append(dyn_index(a))
+                else:
+                    baked = self._bake(a)
+                    constant_bytes += baked.nbytes
+                    resolved.append(baked)
+            steps.append((kernel, tuple(resolved), dyn_index(out_slot), op))
+
+        plan_outputs: List[StepArg] = []
+        for slot in out_slots:
+            if slot in dynamic:
+                plan_outputs.append(dyn_index(slot))
+            else:
+                baked = self._bake(slot)
+                constant_bytes += baked.nbytes
+                plan_outputs.append(baked)
+
+        plan = Plan(
+            dtype=self.dtype,
+            inputs=inputs,
+            steps=steps,
+            outputs=plan_outputs,
+            num_values=len(index_of),
+            folded_steps=folded,
+            constant_bytes=constant_bytes,
+        )
+        if verify:
+            self._verify(plan, outputs)
+        return plan
+
+    def _verify(self, plan: Plan, outputs: Sequence[Tensor]) -> None:
+        """Replay on the trace feeds and compare against traced outputs.
+
+        Same-dtype plans must reproduce the eager arrays bit-exactly —
+        the kernels are the exact eager numpy expressions.  Down-cast
+        plans get a tolerance check (documented float32 envelope).
+        """
+        feeds = {name: self._arrays[slot] for name, slot in self._inputs.items()}
+        replayed = plan.run(feeds)
+        for i, (got, want_t) in enumerate(zip(replayed, outputs)):
+            want = want_t.data
+            if plan.dtype == want.dtype:
+                if not np.array_equal(np.asarray(got), want):
+                    raise TraceError(
+                        f"plan verification failed: output {i} is not "
+                        f"bit-identical to the traced run"
+                    )
+            else:
+                if not np.allclose(
+                    np.asarray(got, dtype=np.float64),
+                    np.asarray(want, dtype=np.float64),
+                    rtol=1e-3,
+                    atol=1e-5,
+                ):
+                    raise TraceError(
+                        f"plan verification failed: output {i} exceeds the "
+                        f"{plan.dtype} tolerance envelope vs the traced run"
+                    )
+
+
+@contextlib.contextmanager
+def trace(dtype=np.float64):
+    """Record every Tensor op on this thread into a :class:`TraceRecorder`.
+
+    Traces do not nest.  Typical use::
+
+        with no_grad(), trace(np.float32) as tr:
+            x = Tensor(tr.input("x", x_array))
+            out = model_stage(x)
+        plan = tr.finalize([out])
+    """
+    if _trace_state.tracer is not None:
+        raise TraceError("traces do not nest")
+    tracer = TraceRecorder(dtype=dtype)
+    _trace_state.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _trace_state.tracer = None

@@ -120,6 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
                               dest="snapshot_interval",
                               help="events between state snapshots "
                                    "(with --persist; default: 1000)")
+    serve_parser.add_argument("--no-compile", action="store_true",
+                              dest="no_compile",
+                              help="escape hatch: serve eagerly instead of "
+                                   "through captured inference plans")
+    serve_parser.add_argument("--plan-dtype", default="float64",
+                              dest="plan_dtype",
+                              choices=("float64", "float32"),
+                              help="replay precision of compiled plans "
+                                   "(float64 is bit-identical to eager; "
+                                   "default: float64)")
 
     bench_parser = sub.add_parser(
         "serve-bench", help="benchmark cached vs uncached vs batched throughput"
@@ -186,6 +196,8 @@ def _server_config(args):
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.queue_size,
+        compile=not args.no_compile,
+        plan_dtype=args.plan_dtype,
     )
 
 
@@ -213,6 +225,8 @@ def _cmd_serve_cluster(args) -> int:
             server_workers=args.workers,
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
+            compile=not args.no_compile,
+            plan_dtype=args.plan_dtype,
         )
         router = ClusterRouter(args.checkpoint, args.persist, config=config)
     except FileNotFoundError:

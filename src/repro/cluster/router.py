@@ -44,6 +44,8 @@ class ClusterConfig:
     max_batch_size: int = 16
     max_wait_ms: float = 2.0
     request_timeout_s: float = 30.0
+    compile: bool = True
+    plan_dtype: str = "float64"
     heartbeat_interval_s: float = 2.0
     heartbeat_timeout_s: float = 5.0
     auto_restart: bool = True
@@ -107,6 +109,8 @@ class ClusterRouter:
             max_batch_size=c.max_batch_size,
             max_wait_ms=c.max_wait_ms,
             request_timeout_s=c.request_timeout_s,
+            compile=c.compile,
+            plan_dtype=c.plan_dtype,
         )
 
     # ------------------------------------------------------------------
@@ -361,6 +365,7 @@ class ClusterRouter:
                     "requests_completed": stats.get("requests", {}).get("completed", 0),
                     "durability": stream.get("durability", {}),
                     "recovery": stats.get("recovery", {}),
+                    "plans": stats.get("plans", {"enabled": False}),
                 }
             )
             for key in totals:

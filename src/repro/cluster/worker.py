@@ -80,6 +80,8 @@ class WorkerSpec:
     max_wait_ms: float = 2.0
     max_queue: int = 256
     request_timeout_s: float = 30.0
+    compile: bool = True
+    plan_dtype: str = "float64"
 
     def store_config(self) -> StoreConfig:
         return StoreConfig(
@@ -130,6 +132,8 @@ class _WorkerRuntime:
                 max_wait_ms=spec.max_wait_ms,
                 max_queue=spec.max_queue,
                 request_timeout_s=spec.request_timeout_s,
+                compile=spec.compile,
+                plan_dtype=spec.plan_dtype,
             ),
             dataset=dataset,
             ingest=self.ingest,

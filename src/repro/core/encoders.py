@@ -13,14 +13,28 @@ from typing import Sequence
 
 import numpy as np
 
-from ..autograd import Tensor
-from ..data.checkin import SLOTS_PER_DAY, time_slot
+from ..autograd import Tensor, get_default_dtype
+from ..data.checkin import HOURS_PER_DAY, SLOTS_PER_DAY
 from ..nn import Embedding, Module
 from ..utils.rng import default_rng
 
 
+def time_slots(timestamps) -> np.ndarray:
+    """Elementwise half-hour-of-day slot ids for any timestamp shape.
+
+    The exact lookup :class:`TemporalEncoder` applies — factored out so
+    the compiled feed-prep stage computes identical slot ids.  The
+    vectorised form matches :func:`~repro.data.checkin.time_slot`
+    exactly: ``t % 24`` is non-negative, so ``astype(int64)``
+    (truncation) equals Python's ``int()`` on every element.
+    """
+    hours = np.asarray(timestamps, dtype=np.float64)
+    slots = ((hours % HOURS_PER_DAY) * 2.0).astype(np.int64) % SLOTS_PER_DAY
+    return slots
+
+
 def spatial_encoding(
-    locations: np.ndarray, dim: int, scale: float = 100.0
+    locations: np.ndarray, dim: int, scale: float = 100.0, dtype=None
 ) -> np.ndarray:
     """Eq. 4 sinusoidal code for ``(..., 2)`` unit-square locations.
 
@@ -33,16 +47,23 @@ def spatial_encoding(
     Any leading shape is accepted — ``(n, 2)`` per-sample sequences and
     ``(batch, length, 2)`` padded batches encode identically row by
     row; the output is ``locations.shape[:-1] + (dim,)``.
+
+    ``dtype`` picks the output buffer dtype (default: the engine's
+    default floating dtype); the sinusoids themselves are always
+    evaluated in float64 and cast on assignment, so a float32 code is
+    exactly the rounded float64 code.
     """
     if dim % 4 != 0:
         raise ValueError("dim must be divisible by 4")
+    if dtype is None:
+        dtype = get_default_dtype()
     locations = np.asarray(locations, dtype=np.float64)
     if locations.ndim == 1:
         locations = locations[None, :]
     lead = locations.shape[:-1]
     flat = locations.reshape(-1, 2)
     n = len(flat)
-    out = np.zeros((n, dim), dtype=np.float64)
+    out = np.zeros((n, dim), dtype=dtype)
     quarter = dim // 4
     xs = flat[:, 0] * scale
     ys = flat[:, 1] * scale
@@ -81,8 +102,4 @@ class TemporalEncoder(Module):
         self.slots = Embedding(SLOTS_PER_DAY, dim, rng=rng or default_rng())
 
     def forward(self, embeddings: Tensor, timestamps: Sequence[float]) -> Tensor:
-        hours = np.asarray(timestamps, dtype=np.float64)
-        slots = np.asarray(
-            [time_slot(t) for t in hours.reshape(-1)], dtype=np.int64
-        ).reshape(hours.shape)
-        return embeddings + self.slots(slots)
+        return embeddings + self.slots(time_slots(timestamps))

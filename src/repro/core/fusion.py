@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor, gather_last, where
+from ..autograd import Tensor, gather_at, gather_last, where
 from ..nn import (
     Dropout,
     LayerNorm,
@@ -72,18 +72,41 @@ class AttentionBlock(Module):
         pre-cross-attention sequence exactly as ``forward`` would.
         """
         length = sequence.shape[1]
-        mask = causal_mask(length)  # broadcast over the batch
-        attended = self.self_attention(sequence, sequence, sequence, mask=mask)
+        causal = causal_mask(length)[None, None, :, :]
+        if history is None:
+            return self.forward_batch_core(sequence, causal, None, None, None)
+        cross = np.asarray(history_mask, dtype=bool)[:, None, None, :]
+        has_history = (~history_mask.all(axis=1))[:, None, None]  # (B, 1, 1)
+        return self.forward_batch_core(sequence, causal, history, cross, has_history)
+
+    def forward_batch_core(
+        self,
+        sequence: Tensor,
+        causal: np.ndarray,
+        history: Optional[Tensor],
+        cross_mask: Optional[np.ndarray],
+        has_history: Optional[np.ndarray],
+    ) -> Tensor:
+        """Trace-friendly block body: every mask arrives pre-broadcast.
+
+        ``causal`` is ``(1, 1, L, L)``; ``cross_mask`` is
+        ``(B, 1, 1, H)`` (True at padded knowledge rows); ``has_history``
+        is ``(B, 1, 1)``.  No batch-dependent array is *derived* in
+        here — they are all explicit arguments — so a captured plan
+        links each one back to a feed.  Values are bit-identical to the
+        pre-refactor inline math: masks broadcast to the same
+        elementwise booleans.
+        """
+        attended = self.self_attention.forward_prepared(
+            sequence, sequence, sequence, causal
+        )
         sequence = self.norm1(sequence + self.drop(attended))
         if history is not None:
-            batch, h_max = history.shape[0], history.shape[1]
-            cross_mask = np.broadcast_to(
-                history_mask[:, None, :], (batch, length, h_max)
+            crossed = self.cross_attention.forward_prepared(
+                sequence, history, history, cross_mask
             )
-            crossed = self.cross_attention(sequence, history, history, mask=cross_mask)
             updated = self.norm2(sequence + self.drop(crossed))
-            has_history = ~history_mask.all(axis=1)  # (B,)
-            sequence = where(has_history[:, None, None], updated, sequence)
+            sequence = where(has_history, updated, sequence)
         forwarded = self.feed_forward(sequence).relu()
         return self.norm3(sequence + self.drop(forwarded))
 
@@ -131,3 +154,25 @@ class FusionModule(Module):
         for block in self.blocks:
             out = block.forward_batch(out, history, history_mask)
         return gather_last(out, lengths)
+
+    def forward_batch_core(
+        self,
+        sequence: Tensor,
+        positions: np.ndarray,
+        causal: np.ndarray,
+        history: Optional[Tensor] = None,
+        cross_mask: Optional[np.ndarray] = None,
+        has_history: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Trace-friendly fusion: pre-broadcast masks, explicit gather.
+
+        Mirrors :meth:`forward_batch` exactly (same blocks, same
+        values) but takes ``positions`` (= ``lengths - 1``) and the
+        pre-shaped masks of :meth:`AttentionBlock.forward_batch_core`
+        directly, so the whole stage is a pure function of its array
+        arguments — the property plan capture needs.
+        """
+        out = sequence
+        for block in self.blocks:
+            out = block.forward_batch_core(out, causal, history, cross_mask, has_history)
+        return gather_at(out, positions)

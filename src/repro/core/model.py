@@ -19,19 +19,21 @@ All Table IV ablations are configuration switches
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, concat, no_grad, pad_stack
+from ..autograd import Tensor, concat, no_grad, pad_stack, trace
+from ..autograd.plan import Plan
 from ..data.trajectory import PredictionSample
 from ..graphs import QRPGraph, strip_edges
-from ..nn import Module, key_padding_mask
+from ..nn import Module, causal_mask, key_padding_mask
 from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
 from ..utils.cache import LRUCache
 from ..utils.rng import default_rng, derive
 from .config import TSPNRAConfig
-from .encoders import SpatialEncoder, TemporalEncoder
+from .encoders import SpatialEncoder, TemporalEncoder, spatial_encoding, time_slots
 from .fusion import FusionModule
 from .hgat import HGATEncoder
 from .loss import arcface_loss, arcface_loss_batch, combined_loss
@@ -40,6 +42,7 @@ from .tile_embedding import ImageTileEmbedder, TableTileEmbedder
 from .two_step import (
     candidate_pois,
     cosine_similarities,
+    normalize_rows,
     rank_pois,
     rank_pois_batch,
     rank_tiles,
@@ -56,6 +59,30 @@ PredictionResult = PredictorResult
 # split into several packs instead of one huge one.  Training batches
 # (size 8) always fit in a single pack.
 MAX_PACKED_NODES = 512
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << (n - 1).bit_length() if n > 0 else 0
+
+
+@dataclass
+class EncodePlan:
+    """One captured encode plan plus everything its replay needs.
+
+    ``tile_table`` / ``poi_table`` are the embedding tables cast to the
+    plan dtype (fed as plan inputs each run); ``leaf_norm`` /
+    ``poi_norm`` are the hoisted :func:`normalize_rows` ranking tables.
+    Instances are immutable snapshots of one ``weights_version`` —
+    caches key them accordingly (see ``repro.serve.plans``).
+    """
+
+    plan: Plan
+    bucket: Tuple[int, int, int, int]
+    dtype: np.dtype
+    tile_table: np.ndarray
+    poi_table: np.ndarray
+    leaf_norm: np.ndarray
+    poi_norm: np.ndarray
 
 
 class TSPNRA(Module, PredictorBase):
@@ -128,6 +155,22 @@ class TSPNRA(Module, PredictorBase):
         # cache of (graph, HGAT masks) keyed by (user, trajectory index);
         # unbounded by default, swappable for a bounded LRU when serving
         self._graph_cache: LRUCache = LRUCache(maxsize=None)
+        # HGAT knowledge rows keyed (history_key, weights_version), used
+        # only by the compiled feed-prep stage: histories repeat across
+        # serving batches (every prefix of a trajectory shares one), so
+        # the graph pass — the one encode stage a plan cannot capture —
+        # amortises across requests.  weights_version in the key makes
+        # reloads invalidate naturally; the LRU bound ages out streams.
+        self._knowledge_cache: LRUCache = LRUCache(maxsize=2048)
+        # step-two candidate sets keyed by the top-K tile tuple: the
+        # tile system is static after construction, and spatial locality
+        # makes the same top-K tuples recur across requests, so both the
+        # eager and compiled ranking tails share one memo (identical
+        # ranked lists either way — the cached value IS the candidate
+        # array the uncached path would build)
+        self._candidate_cache: LRUCache = LRUCache(maxsize=4096)
+        # per-dtype Eq. 4 code tables for the compiled feed-prep gather
+        self._spatial_tables: Dict[str, np.ndarray] = {}
         self._negative_rng = derive(rng, 17)
 
     # ------------------------------------------------------------------
@@ -608,14 +651,61 @@ class TSPNRA(Module, PredictorBase):
             )
             if self.config.use_two_step:
                 candidate_lists = [
-                    candidate_pois(self.tile_system, ranked[:k])
-                    for ranked in ranked_tiles_all
+                    self._candidates_for(ranked, k) for ranked in ranked_tiles_all
                 ]
             else:
                 candidate_lists = [list(range(self.num_pois))] * len(samples)
             ranked_pois_all = rank_pois_batch(
                 poi_outputs.data, poi_embeddings.data, candidate_lists
             )
+        return self._results(samples, ranked_tiles_all, ranked_pois_all)
+
+    def _spatial_code_table(self, dtype) -> np.ndarray:
+        """Per-POI Eq. 4 codes as a static gather table.
+
+        The sinusoidal code is a pure elementwise function of each POI's
+        (fixed) location, so ``spatial_encoding(xy[ids])`` equals
+        ``table[ids]`` row for row, bit-identically.  Computed once per
+        dtype; the compiled feed-prep stage then pays one gather per
+        batch instead of re-evaluating the trig.
+        """
+        key = np.dtype(dtype).str
+        table = self._spatial_tables.get(key)
+        if table is None:
+            table = spatial_encoding(
+                self.normalized_xy,
+                self.config.dim,
+                scale=self.spatial_encoder.scale,
+                dtype=dtype,
+            )
+            self._spatial_tables[key] = table
+        return table
+
+    def _candidates_for(self, ranked_tiles: Sequence[int], k: int) -> np.ndarray:
+        """Step-two candidate ids for a ranked tile list, memoised.
+
+        Same POIs in the same order as calling
+        :func:`candidate_pois` directly — the memo only skips the
+        repeated per-leaf list walk for top-K tuples already seen.
+        Returned arrays are shared cache entries: callers read, never
+        mutate.
+        """
+        key = tuple(ranked_tiles[:k])
+        cached = self._candidate_cache.get(key)
+        if cached is None:
+            cached = np.asarray(
+                candidate_pois(self.tile_system, key), dtype=np.int64
+            )
+            self._candidate_cache.put(key, cached)
+        return cached
+
+    def _results(
+        self,
+        samples: Sequence[PredictionSample],
+        ranked_tiles_all: Sequence[List[int]],
+        ranked_pois_all: Sequence[List[int]],
+    ) -> List[PredictorResult]:
+        """Ranked lists -> :class:`PredictorResult`s (shared eager/compiled tail)."""
         results: List[PredictorResult] = []
         for sample, ranked_tiles, ranked_pois in zip(
             samples, ranked_tiles_all, ranked_pois_all
@@ -634,6 +724,308 @@ class TSPNRA(Module, PredictorBase):
                 )
             )
         return results
+
+    # ------------------------------------------------------------------
+    # compiled inference (trace-once, graph-free replay)
+    # ------------------------------------------------------------------
+    def plan_bucket(self, samples: Sequence[PredictionSample]) -> Tuple[int, int, int, int]:
+        """Shape bucket ``(B, L, H_tiles, H_pois)`` this batch pads into.
+
+        Every dimension rounds up — batch to a power of two while ≤ 4,
+        then a multiple of 4; sequence length to a multiple of 4;
+        knowledge widths to a multiple of 8 — so a handful of plans
+        covers the whole serving traffic.  The rounding is deliberately
+        tight: self-attention is O(L²), so padding L to the next power
+        of two (up to 2× the real length) costs more wall-clock than
+        the extra traces a multiple-of-4 grid pays for.  A width of 0
+        means *no sample has that kind of knowledge*, which traces a
+        plan variant without the cross-attention stage, exactly
+        mirroring the eager ``history is None`` branch.
+        """
+        if not samples:
+            raise ValueError("plan_bucket needs a non-empty batch")
+        lengths = [len(s.prefix) for s in samples]
+        if min(lengths) < 1:
+            raise ValueError("plan_bucket needs non-empty prefixes")
+        batch = len(samples)
+        b_pad = _next_pow2(batch) if batch <= 4 else ((batch + 3) // 4) * 4
+        l_pad = ((max(lengths) + 3) // 4) * 4
+        max_tiles = max_pois = 0
+        if self.config.use_graph:
+            for sample in samples:
+                n_tiles, n_pois = self._knowledge_counts(sample)
+                max_tiles = max(max_tiles, n_tiles)
+                max_pois = max(max_pois, n_pois)
+        ht = ((max_tiles + 7) // 8) * 8
+        hp = ((max_pois + 7) // 8) * 8
+        return (b_pad, l_pad, ht, hp)
+
+    def _knowledge_counts(self, sample: PredictionSample) -> Tuple[int, int]:
+        """(tile rows, POI rows) the sample's knowledge will occupy.
+
+        Mirrors :meth:`_history_knowledge_batch` row counts without
+        running the HGAT — the QR-P graph (cached per history) already
+        knows its node counts.
+        """
+        if not (self.config.use_graph and sample.history):
+            return (0, 0)
+        qrp, _ = self._qrp_for(sample)
+        if qrp.is_empty:
+            return (0, 0)
+        return (len(qrp.tile_refs), len(qrp.poi_refs))
+
+    def _knowledge_rows(
+        self,
+        samples: Sequence[PredictionSample],
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+    ) -> List[Tuple[Optional[np.ndarray], Optional[np.ndarray]]]:
+        """Per-sample HGAT knowledge rows as plain arrays, LRU-cached.
+
+        Cache misses are computed in one :meth:`_history_knowledge_batch`
+        call (packed block-diagonal HGAT); the packed pass is exactly
+        padding/pack-invariant — cross-graph attention weights are exact
+        zeros — so rows computed in different batch compositions are
+        bit-identical, which keeps the cached-vs-fresh distinction
+        invisible to ranked lists.
+        """
+        version = self.weights_version()
+        by_key: Dict = {}
+        missing: List[PredictionSample] = []
+        queued = set()
+        for sample in samples:
+            key = sample.history_key
+            if key in by_key or key in queued:
+                continue
+            hit = self._knowledge_cache.get((key, version))
+            if hit is not None:
+                by_key[key] = hit
+            else:
+                queued.add(key)
+                missing.append(sample)
+        if missing:
+            knowledge = self._history_knowledge_batch(
+                missing, tile_embeddings, poi_embeddings
+            )
+            for key, (tiles, pois) in knowledge.items():
+                rows = (
+                    None if tiles is None else np.asarray(tiles.data),
+                    None if pois is None else np.asarray(pois.data),
+                )
+                self._knowledge_cache.put((key, version), rows)
+                by_key[key] = rows
+        return [by_key[s.history_key] for s in samples]
+
+    def _encode_plan_feeds(
+        self,
+        samples: Sequence[PredictionSample],
+        bucket: Tuple[int, int, int, int],
+        dtype: np.dtype,
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+    ) -> Dict[str, np.ndarray]:
+        """Stage one of the compiled encode: batch -> padded feed arrays.
+
+        Everything batch-dependent becomes an explicit array here —
+        padded id/timestamp grids, the Eq. 4 spatial code, gather
+        positions, knowledge rows and their pre-broadcast masks — so
+        stage two (:meth:`_encode_core`) is a pure function a trace can
+        capture.  Padded batch rows get a length-1 all-zeros prefix and
+        no knowledge; causal masking plus the final gather keep them
+        out of every real sample's values.
+        """
+        b_pad, l_pad, ht, hp = bucket
+        batch = len(samples)
+        if batch > b_pad:
+            raise ValueError(f"batch of {batch} exceeds bucket {bucket}")
+        lengths = np.ones(b_pad, dtype=np.int64)
+        prefix_ids = np.zeros((b_pad, l_pad), dtype=np.int64)
+        timestamps = np.zeros((b_pad, l_pad), dtype=np.float64)
+        for i, sample in enumerate(samples):
+            ids = sample.prefix_poi_ids
+            if len(ids) > l_pad:
+                raise ValueError(f"prefix of {len(ids)} exceeds bucket {bucket}")
+            prefix_ids[i, : len(ids)] = ids
+            timestamps[i, : len(ids)] = [v.timestamp for v in sample.prefix]
+            lengths[i] = len(ids)
+        feeds: Dict[str, np.ndarray] = {
+            "prefix_ids": prefix_ids,
+            "tile_ids": self._poi_leaf_table()[prefix_ids],
+            "positions": lengths - 1,
+        }
+        if self.config.use_st_encoder:
+            feeds["spatial_code"] = self._spatial_code_table(dtype)[prefix_ids]
+            feeds["time_slot_ids"] = time_slots(timestamps)
+        if ht or hp:
+            rows = self._knowledge_rows(samples, tile_embeddings, poi_embeddings)
+            for name, width, side in (("tiles", ht, 0), ("pois", hp, 1)):
+                if not width:
+                    continue
+                history = np.zeros((b_pad, width, self.config.dim), dtype=dtype)
+                counts = np.zeros(b_pad, dtype=np.int64)
+                for i, per_sample in enumerate(rows):
+                    knowledge = per_sample[side]
+                    if knowledge is None or not len(knowledge):
+                        continue
+                    if len(knowledge) > width:
+                        raise ValueError(
+                            f"{name} knowledge of {len(knowledge)} exceeds bucket {bucket}"
+                        )
+                    history[i, : len(knowledge)] = knowledge
+                    counts[i] = len(knowledge)
+                mask = key_padding_mask(counts, width)
+                feeds[f"history_{name}"] = history
+                feeds[f"{name}_mask"] = mask[:, None, None, :]
+                feeds[f"has_{name}"] = (~mask.all(axis=1))[:, None, None]
+        return feeds
+
+    def _encode_core(
+        self,
+        feeds: Dict[str, np.ndarray],
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+        bucket: Tuple[int, int, int, int],
+    ) -> Tuple[Tensor, Tensor]:
+        """Stage two of the compiled encode: pure Tensor math over feeds.
+
+        Runs the exact op sequence of :meth:`encode_batch` — embedding
+        gathers, spatial/temporal encoders, both fusion stacks, final
+        position gather — but consumes only the :meth:`_encode_plan_feeds`
+        arrays plus the embedding tables, deriving nothing batch-shaped
+        internally.  Traced once per bucket it becomes a :class:`Plan`;
+        run eagerly it reproduces ``encode_batch`` values bit-for-bit on
+        the real (unpadded) rows.
+        """
+        _, l_pad, ht, hp = bucket
+        tile_sequence = tile_embeddings[feeds["tile_ids"]]  # (B, L, dim)
+        poi_sequence = poi_embeddings[feeds["prefix_ids"]]
+        if self.config.use_st_encoder:
+            tile_sequence = tile_sequence + Tensor(feeds["spatial_code"])
+            tile_sequence = tile_sequence + self.tile_temporal.slots(
+                feeds["time_slot_ids"]
+            )
+            poi_sequence = poi_sequence + self.poi_temporal.slots(
+                feeds["time_slot_ids"]
+            )
+        causal = causal_mask(l_pad)[None, None, :, :]
+        positions = feeds["positions"]
+        if ht:
+            tile_output = self.fusion_tile.forward_batch_core(
+                tile_sequence,
+                positions,
+                causal,
+                Tensor(feeds["history_tiles"]),
+                feeds["tiles_mask"],
+                feeds["has_tiles"],
+            )
+        else:
+            tile_output = self.fusion_tile.forward_batch_core(
+                tile_sequence, positions, causal
+            )
+        if hp:
+            poi_output = self.fusion_poi.forward_batch_core(
+                poi_sequence,
+                positions,
+                causal,
+                Tensor(feeds["history_pois"]),
+                feeds["pois_mask"],
+                feeds["has_pois"],
+            )
+        else:
+            poi_output = self.fusion_poi.forward_batch_core(
+                poi_sequence, positions, causal
+            )
+        return tile_output, poi_output
+
+    def build_encode_plan(
+        self,
+        samples: Sequence[PredictionSample],
+        bucket: Tuple[int, int, int, int],
+        dtype,
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+    ) -> "EncodePlan":
+        """Trace the encode hot path for one shape bucket into a plan.
+
+        The embedding tables are declared as plan *inputs* (they change
+        on reload, and baking them would double their memory); every
+        parameter inside the fusion stacks is baked, with parameter-only
+        subexpressions constant-folded at finalize.  Verification replays
+        the plan on the trace batch — bit-exact for float64.  Also
+        hoists the :func:`normalize_rows` ranking tables so the ranking
+        tail skips the per-batch renormalisation.
+        """
+        dtype = np.dtype(dtype)
+        with no_grad():
+            tile_table = np.asarray(tile_embeddings.data)
+            poi_table = np.asarray(poi_embeddings.data)
+            if tile_table.dtype != dtype:
+                tile_table = tile_table.astype(dtype)
+            if poi_table.dtype != dtype:
+                poi_table = poi_table.astype(dtype)
+            feeds = self._encode_plan_feeds(
+                samples, bucket, dtype, tile_embeddings, poi_embeddings
+            )
+            with trace(dtype) as tracer:
+                traced = {name: tracer.input(name, array) for name, array in feeds.items()}
+                tile_input = Tensor(tracer.input("tile_table", tile_table))
+                poi_input = Tensor(tracer.input("poi_table", poi_table))
+                tile_output, poi_output = self._encode_core(
+                    traced, tile_input, poi_input, bucket
+                )
+            plan = tracer.finalize([tile_output, poi_output])
+        return EncodePlan(
+            plan=plan,
+            bucket=bucket,
+            dtype=dtype,
+            tile_table=tile_table,
+            poi_table=poi_table,
+            leaf_norm=normalize_rows(tile_table[self._leaf_array]),
+            poi_norm=normalize_rows(poi_table),
+        )
+
+    def predict_batch_compiled(
+        self,
+        samples: Sequence[PredictionSample],
+        entry: "EncodePlan",
+        tile_embeddings: Tensor,
+        poi_embeddings: Tensor,
+        k: Optional[int] = None,
+    ) -> List[PredictorResult]:
+        """:meth:`predict_batch` through a captured plan (no graph, no
+        Tensor wrappers on the hot path).
+
+        Feed prep and the ranking tail share every expression with the
+        eager path (same padding maths, same :func:`normalize_rows`
+        tables), so a float64 plan yields bit-identical ranked lists;
+        float32 plans trade the documented tolerance for bandwidth.
+        """
+        if not samples:
+            return []
+        k = k if k is not None else self.config.top_k
+        with no_grad():
+            feeds = self._encode_plan_feeds(
+                samples, entry.bucket, entry.dtype, tile_embeddings, poi_embeddings
+            )
+            feeds["tile_table"] = entry.tile_table
+            feeds["poi_table"] = entry.poi_table
+            tile_out, poi_out = entry.plan.run(feeds)
+            batch = len(samples)
+            tile_out = np.asarray(tile_out)[:batch]
+            poi_out = np.asarray(poi_out)[:batch]
+            ranked_tiles_all = rank_tiles_batch(
+                tile_out, entry.leaf_norm, self._leaf_ids, candidates_normalized=True
+            )
+            if self.config.use_two_step:
+                candidate_lists = [
+                    self._candidates_for(ranked, k) for ranked in ranked_tiles_all
+                ]
+            else:
+                candidate_lists = [list(range(self.num_pois))] * batch
+            ranked_pois_all = rank_pois_batch(
+                poi_out, entry.poi_norm, candidate_lists, candidates_normalized=True
+            )
+        return self._results(samples, ranked_tiles_all, ranked_pois_all)
 
     def score_candidates(
         self, sample: PredictionSample, candidate_ids: Sequence[int], *shared

@@ -19,10 +19,21 @@ import numpy as np
 from ..serve.protocol import rank_of_target  # noqa: F401  (canonical home; re-exported)
 
 
+def normalize_rows(candidates: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm — the candidate half of every cosine.
+
+    This is *the* normalisation expression used by all ranking paths;
+    the compiled serving path hoists it per ``weights_version`` (the
+    tables only change on reload), and sharing one function keeps the
+    hoisted tables bit-identical to the per-batch eager computation.
+    """
+    return candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
+
+
 def cosine_similarities(output: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """cos(theta) between one output vector and each candidate row."""
     out_norm = output / (np.linalg.norm(output) + 1e-12)
-    cand_norm = candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
+    cand_norm = normalize_rows(candidates)
     return cand_norm @ out_norm
 
 
@@ -75,14 +86,21 @@ def rank_pois(
 # ----------------------------------------------------------------------
 # batched variants (vectorised inference path)
 # ----------------------------------------------------------------------
-def cosine_similarities_batch(outputs: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+def cosine_similarities_batch(
+    outputs: np.ndarray,
+    candidates: np.ndarray,
+    candidates_normalized: bool = False,
+) -> np.ndarray:
     """cos(theta) between each output row and each candidate row.
 
     ``outputs``: ``(batch, dim)``; ``candidates``: ``(n, dim)``;
     returns ``(batch, n)`` — one matmul instead of a per-sample loop.
+    ``candidates_normalized`` marks ``candidates`` as already being a
+    :func:`normalize_rows` result (the compiled path's hoisted tables),
+    skipping the per-batch renormalisation bit-identically.
     """
     out_norm = outputs / (np.linalg.norm(outputs, axis=1, keepdims=True) + 1e-12)
-    cand_norm = candidates / (np.linalg.norm(candidates, axis=1, keepdims=True) + 1e-12)
+    cand_norm = candidates if candidates_normalized else normalize_rows(candidates)
     return out_norm @ cand_norm.T
 
 
@@ -90,17 +108,24 @@ def rank_tiles_batch(
     tile_outputs: np.ndarray,
     leaf_embeddings: np.ndarray,
     leaf_ids: Sequence[int],
+    candidates_normalized: bool = False,
 ) -> List[List[int]]:
     """Step one for a batch: the full ranked tile list per sample."""
-    scores = cosine_similarities_batch(tile_outputs, leaf_embeddings)
+    scores = cosine_similarities_batch(
+        tile_outputs, leaf_embeddings, candidates_normalized=candidates_normalized
+    )
     orders = np.argsort(-scores, axis=1, kind="stable")
-    return [[leaf_ids[i] for i in order] for order in orders]
+    # one fancy-index + tolist instead of a per-sample Python loop;
+    # same ids in the same order
+    leaf_array = np.asarray(leaf_ids, dtype=np.int64)
+    return leaf_array[orders].tolist()
 
 
 def rank_pois_batch(
     poi_outputs: np.ndarray,
     poi_embeddings: np.ndarray,
     candidate_lists: Sequence[Sequence[int]],
+    candidates_normalized: bool = False,
 ) -> List[List[int]]:
     """Step two for a batch of per-sample candidate sets.
 
@@ -110,15 +135,28 @@ def rank_pois_batch(
     :func:`rank_pois` on the candidate subset, because cosine scores
     are row-independent.
     """
-    scores = cosine_similarities_batch(poi_outputs, poi_embeddings)
-    rankings: List[List[int]] = []
-    for row, candidates in zip(scores, candidate_lists):
-        if len(candidates) == 0:
-            rankings.append([])
-            continue
-        candidate_array = np.asarray(candidates, dtype=np.int64)
-        order = np.argsort(-row[candidate_array], kind="stable")
-        rankings.append([int(candidate_array[i]) for i in order])
-    return rankings
+    scores = cosine_similarities_batch(
+        poi_outputs, poi_embeddings, candidates_normalized=candidates_normalized
+    )
+    lengths = [len(c) for c in candidate_lists]
+    width = max(lengths, default=0)
+    if width == 0:
+        return [[] for _ in candidate_lists]
+    # One batched stable argsort instead of a per-row call: rows are
+    # padded with -inf scores, which sort strictly after every real
+    # entry under the descending key, and stability keeps the relative
+    # order of the real entries — so each trimmed row is exactly the
+    # per-row ``argsort(-row[candidates], kind="stable")`` result.
+    rows = len(candidate_lists)
+    cand_matrix = np.zeros((rows, width), dtype=np.int64)
+    for i, candidates in enumerate(candidate_lists):
+        if lengths[i]:
+            cand_matrix[i, : lengths[i]] = candidates
+    padded_scores = np.take_along_axis(scores, cand_matrix, axis=1)
+    pad = np.arange(width)[None, :] >= np.asarray(lengths, dtype=np.int64)[:, None]
+    padded_scores[pad] = -np.inf
+    orders = np.argsort(-padded_scores, axis=1, kind="stable")
+    ranked = np.take_along_axis(cand_matrix, orders, axis=1)
+    return [row[:n].tolist() for row, n in zip(ranked, lengths)]
 
 

@@ -113,6 +113,32 @@ class MultiHeadAttention(Module):
         value: Tensor,
         mask: Optional[np.ndarray] = None,
     ) -> Tensor:
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 2:  # shared (L_q, L_k), e.g. a causal mask
+                mask = mask[None, None, :, :]
+            elif mask.ndim == 3:  # per-sample (B, L_q, L_k)
+                mask = mask[:, None, :, :]
+        return self.forward_prepared(query, key, value, mask)
+
+    def forward_prepared(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Batched attention with a pre-broadcast 4-D mask.
+
+        ``mask`` must already be boolean and broadcastable to
+        ``(B, heads, L_q, L_k)`` — e.g. ``(1, 1, L, L)`` causal or
+        ``(B, 1, 1, L_k)`` key-padding.  This is the trace-friendly
+        entry point: all mask shaping happens in the caller's feed-prep
+        stage, so a captured plan links the mask straight back to its
+        feed instead of baking a batch-specific broadcast.  Values are
+        identical to :meth:`forward` on batched input — broadcasting a
+        mask early or late changes nothing elementwise.
+        """
         batch, l_q = query.shape[0], query.shape[1]
         l_k = key.shape[1]
         q = self._split_batch(self.w_q(query), batch, l_q)
@@ -121,11 +147,6 @@ class MultiHeadAttention(Module):
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
         if mask is not None:
-            mask = np.asarray(mask, dtype=bool)
-            if mask.ndim == 2:  # shared (L_q, L_k), e.g. a causal mask
-                mask = mask[None, None, :, :]
-            elif mask.ndim == 3:  # per-sample (B, L_q, L_k)
-                mask = mask[:, None, :, :]
             scores = masked_fill(scores, mask, NEG_INF)
         weights = softmax(scores, axis=-1)
         attended = weights @ v  # (B, heads, L_q, head_dim)

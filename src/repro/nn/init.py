@@ -1,30 +1,43 @@
-"""Parameter initialisers (Glorot/He/uniform/normal) with explicit RNGs."""
+"""Parameter initialisers (Glorot/He/uniform/normal) with explicit RNGs.
+
+Draws always come from the generator in float64 (so a seed produces
+the same stream regardless of engine configuration) and are cast to
+the engine default dtype on the way out — under a float32 default the
+whole parameter set is float32 end-to-end.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..autograd.dtype import get_default_dtype
+
+
+def _to_default(array: np.ndarray) -> np.ndarray:
+    dtype = get_default_dtype()
+    return array if array.dtype == dtype else array.astype(dtype)
 
 
 def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot uniform init; fan computed from the first two dims."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _to_default(rng.uniform(-bound, bound, size=shape))
 
 
 def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
     """He uniform init, appropriate before ReLU nonlinearities."""
     fan_in, _ = _fans(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _to_default(rng.uniform(-bound, bound, size=shape))
 
 
 def normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
-    return rng.normal(0.0, std, size=shape)
+    return _to_default(rng.normal(0.0, std, size=shape))
 
 
 def uniform(shape, rng: np.random.Generator, bound: float = 0.05) -> np.ndarray:
-    return rng.uniform(-bound, bound, size=shape)
+    return _to_default(rng.uniform(-bound, bound, size=shape))
 
 
 def _fans(shape) -> tuple:

@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Tensor, conv2d, dropout as dropout_fn
+from ..autograd import Tensor, conv2d, dropout as dropout_fn, get_default_dtype
 from ..utils.rng import default_rng
 from . import init
 from .module import Module, Parameter
@@ -21,7 +21,9 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = (
+            Parameter(np.zeros(out_features, dtype=get_default_dtype())) if bias else None
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.transpose()
@@ -70,7 +72,9 @@ class Conv2d(Module):
         self.weight = Parameter(
             init.kaiming_uniform((out_channels, in_channels, kernel_size, kernel_size), rng)
         )
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = (
+            Parameter(np.zeros(out_channels, dtype=get_default_dtype())) if bias else None
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
@@ -82,8 +86,8 @@ class LayerNorm(Module):
     def __init__(self, dim: int, eps: float = 1e-5):
         super().__init__()
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim, dtype=get_default_dtype()))
+        self.beta = Parameter(np.zeros(dim, dtype=get_default_dtype()))
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)

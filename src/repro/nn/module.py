@@ -102,8 +102,21 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     def weights_version(self) -> int:
-        """Monotonic token over all parameter updates (cache invalidation)."""
-        return sum(p.version for p in self.parameters())
+        """Monotonic token over all parameter updates (cache invalidation).
+
+        Serving reads this on every batch, so the flattened parameter
+        list is cached after the first call (``_module_cache`` prefix:
+        invisible to ``named_parameters``).  Parameter *objects* are
+        stable across optimiser steps and ``load_state_dict`` — both
+        rebind ``p.data`` and bump ``p.version`` on the same object —
+        so the cache only goes stale if whole sub-modules are grafted
+        on after the first call, which no model here does post-init.
+        """
+        params = getattr(self, "_module_cache_flat_params", None)
+        if params is None:
+            params = tuple(p for _, p in self.named_parameters())
+            self._module_cache_flat_params = params
+        return sum(p.version for p in params)
 
     def compute_embeddings(self) -> tuple:
         """Shared per-batch state for train/inference loops.

@@ -30,8 +30,12 @@ Entry points
   ``/reload``); request/response codecs are
   :func:`sample_from_json` / :func:`result_to_json`;
 * :func:`compare_throughput` — uncached vs cached-per-sample vs
-  batched serving microbench (the batched leg reports latency
-  percentiles).
+  batched vs compiled serving microbench (the batched leg reports
+  latency percentiles);
+* :class:`PlanCache` — compiled inference plans (trace-once, graph-free
+  replay) keyed ``(weights_version, dtype, shape bucket)``, shared
+  pool-wide; ``Predictor(compile=False)`` / ``ServerConfig(compile=
+  False)`` are the eager escape hatches.
 """
 
 from .checkpoint import (
@@ -44,6 +48,7 @@ from .checkpoint import (
     read_checkpoint,
     save_checkpoint,
 )
+from .plans import PlanCache, supports_plans
 from .predictor import (
     Predictor,
     ServeStats,
@@ -74,6 +79,7 @@ __all__ = [
     "InferenceServer",
     "LoadedCheckpoint",
     "MicroBatchScheduler",
+    "PlanCache",
     "Predictor",
     "PredictorBase",
     "PredictorProtocol",
@@ -94,4 +100,5 @@ __all__ = [
     "sample_from_json",
     "save_checkpoint",
     "serve_history_key",
+    "supports_plans",
 ]

@@ -28,6 +28,7 @@ from ..autograd import no_grad
 from ..data.trajectory import PredictionSample, Trajectory, Visit
 from ..utils.cache import LRUCache
 from .checkpoint import load_checkpoint
+from .plans import PlanCache, supports_plans
 from .protocol import PredictorResult, serve_history_key
 
 LATENCY_PERCENTILES = (50, 95, 99)
@@ -141,9 +142,24 @@ class Predictor:
     is replaced by an LRU of that size (warm entries migrated) — a
     deliberate, lasting adoption for long-lived serving; pass ``None``
     for throwaway measurement facades.
+
+    ``compile=True`` (the default) serves batches through captured
+    inference plans when the model supports them (see
+    :mod:`repro.serve.plans`): the first batch of each shape bucket is
+    traced, later ones replay graph-free.  ``plan_dtype`` picks the
+    replay precision (``float64`` is bit-identical to eager);
+    ``plan_cache`` lets a worker pool share one cache across replicas.
+    ``compile=False`` is the escape hatch — pure eager, no tracing.
     """
 
-    def __init__(self, model, graph_cache_size: Optional[int] = 256):
+    def __init__(
+        self,
+        model,
+        graph_cache_size: Optional[int] = 256,
+        compile: bool = True,
+        plan_dtype="float64",
+        plan_cache: Optional[PlanCache] = None,
+    ):
         self.model = model
         self.dataset = None  # set by from_checkpoint
         self.stats = ServeStats()
@@ -155,6 +171,11 @@ class Predictor:
             cache = LRUCache(graph_cache_size)
             if model.set_graph_cache(cache):
                 self.graph_cache = cache
+        self.plan_cache: Optional[PlanCache] = None
+        if compile and supports_plans(model):
+            self.plan_cache = (
+                plan_cache if plan_cache is not None else PlanCache(dtype=plan_dtype)
+            )
 
     @classmethod
     def from_checkpoint(cls, path, dataset=None, **kwargs) -> "Predictor":
@@ -203,20 +224,36 @@ class Predictor:
 
         Shared embeddings come from the cache; the model's
         ``predict_batch`` encodes the whole batch at once (results are
-        identical to the per-sample loop).  The model runs in eval mode
-        for the batch and its prior train/eval mode is restored
-        afterwards, so a mid-training evaluation hook can wrap the live
-        model safely.
+        identical to the per-sample loop).  With compilation on, the
+        batch instead replays the cached plan for its shape bucket
+        (tracing it first if cold) — ranked lists are bit-identical for
+        float64 plans, and any bucket the tracer cannot capture falls
+        back to eager automatically.  The model runs in eval mode for
+        the batch and its prior train/eval mode is restored afterwards,
+        so a mid-training evaluation hook can wrap the live model
+        safely.
         """
         start = time.perf_counter()
+        # the mode toggle walks every sub-module; a long-lived serving
+        # predictor is already in eval, so skip the walk on the hot path
         was_training = getattr(self.model, "training", False)
-        self.model.eval()
+        if was_training:
+            self.model.eval()
         try:
             with no_grad():
                 shared = self.shared_state()
-                results = self.model.predict_batch(samples, *shared, k=k)
+                results = None
+                if self.plan_cache is not None and samples:
+                    entry = self.plan_cache.entry_for(self.model, samples, *shared)
+                    if entry is not None:
+                        results = self.model.predict_batch_compiled(
+                            samples, entry, *shared, k=k
+                        )
+                if results is None:
+                    results = self.model.predict_batch(samples, *shared, k=k)
         finally:
-            self.model.train(was_training)
+            if was_training:
+                self.model.train(True)
         self.stats.record_batch(time.perf_counter() - start, len(results))
         return results
 
@@ -257,9 +294,9 @@ def compare_throughput(
     repeats: int = 1,
     batch_size: int = 16,
 ) -> Dict[str, float]:
-    """Samples/sec: uncached vs cached-per-sample vs vectorised-batched.
+    """Samples/sec: uncached vs cached vs batched vs compiled.
 
-    Three legs, slowest to fastest:
+    Legs, slowest to fastest:
 
     * ``uncached`` — the legacy research loop: ``compute_embeddings()``
       recomputed per request;
@@ -267,8 +304,32 @@ def compare_throughput(
       ``predict`` loop (what ``Predictor.predict_batch`` did before the
       vectorised encode landed);
     * ``batched`` — the :class:`Predictor` facade driving the model's
-      ``predict_batch`` in chunks of ``batch_size``, with per-batch
-      latencies recorded for p50/p95/p99.
+      eager ``predict_batch`` in chunks of ``batch_size``, with
+      per-batch latencies recorded for p50/p95/p99;
+    * ``compiled`` / ``compiled_f32`` — the same facade with plan
+      compilation on; present only when the model supports plans.
+      ``compiled`` replays float64 plans — the configuration whose
+      ranked lists are bit-identical to eager — while ``compiled_f32``
+      is the *serving* configuration of the compiled path: float32
+      plans end-to-end (documented tolerance, half the bandwidth,
+      dtype-specialised replay kernels).  Each leg's first pass over
+      the samples warms the plan/knowledge caches (trace cost is
+      reported separately as ``{leg}_warmup_seconds``).
+
+    The batched and compiled legs are timed as full passes over the
+    sample list, *interleaved round-robin* across ``repeats`` rounds,
+    and each leg reports ``median(pass) * repeats`` as its seconds.
+    On a shared host a sequential layout folds clock drift into
+    whichever leg runs last; interleaving with medians cancels it, so
+    the reported speedups are leg ratios rather than noise.
+
+    ``compiled_speedup`` is the gate metric: the float32 compiled leg
+    (the serving configuration) vs the eager batched leg.
+    ``compiled_f64_speedup`` tracks the bit-identical float64 replay
+    against the same baseline.  Both are computed as the *median of
+    per-round ratios* — each round times the legs back to back, so a
+    contention burst inflates both passes of the pair and cancels in
+    their ratio, where a ratio of independent leg medians would not.
 
     The model's prior train/eval mode is restored on exit — the same
     guarantee ``Predictor.predict_batch`` and the evaluator document.
@@ -294,16 +355,71 @@ def compare_throughput(
 
         # graph_cache_size=None: a measurement facade must not swap the
         # caller's model cache out from under it
-        predictor = Predictor(model, graph_cache_size=None)
-        start = time.perf_counter()
-        for _ in range(repeats):
+        predictor = Predictor(model, graph_cache_size=None, compile=False)
+        legs: List[Tuple[str, Predictor]] = [("batched", predictor)]
+        compiled: Dict[str, float] = {}
+        if supports_plans(model):
+            for leg, dtype in (("compiled", "float64"), ("compiled_f32", "float32")):
+                legs.append(
+                    (
+                        leg,
+                        Predictor(
+                            model, graph_cache_size=None, compile=True, plan_dtype=dtype
+                        ),
+                    )
+                )
+
+        def one_pass(runner: Predictor) -> None:
             for lo in range(0, len(samples), batch_size):
-                predictor.predict_batch(samples[lo : lo + batch_size])
-        batched_seconds = time.perf_counter() - start
+                runner.predict_batch(samples[lo : lo + batch_size])
+
+        # warmup pass per leg (traces plans, fills knowledge caches)
+        for leg, runner in legs:
+            start = time.perf_counter()
+            one_pass(runner)
+            if leg != "batched":
+                compiled[f"{leg}_warmup_seconds"] = time.perf_counter() - start
+
+        pass_times: Dict[str, List[float]] = {leg: [] for leg, _ in legs}
+        for _ in range(repeats):
+            for leg, runner in legs:
+                start = time.perf_counter()
+                one_pass(runner)
+                pass_times[leg].append(time.perf_counter() - start)
+
+        def _median(values: Sequence[float]) -> float:
+            ordered = sorted(values)
+            mid = len(ordered) // 2
+            if len(ordered) % 2:
+                return ordered[mid]
+            return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+        def leg_seconds(leg: str) -> float:
+            return _median(pass_times[leg]) * repeats
+
+        def paired_speedup(leg: str) -> float:
+            ratios = [
+                b / c
+                for b, c in zip(pass_times["batched"], pass_times[leg])
+                if c > 0
+            ]
+            return _median(ratios) if ratios else float("inf")
+
+        batched_seconds = leg_seconds("batched")
+        count = len(samples) * repeats
+        speedups: Dict[str, float] = {}
+        for leg, runner in legs[1:]:
+            seconds = leg_seconds(leg)
+            compiled[f"{leg}_seconds"] = seconds
+            compiled[f"{leg}_sps"] = count / seconds if seconds > 0 else float("inf")
+            speedups[leg] = paired_speedup(leg)
+            cache = runner.plan_cache
+            compiled[f"{leg}_plans"] = float(len(cache))
+            compiled[f"{leg}_plan_hits"] = float(cache.hits)
+            compiled[f"{leg}_plan_misses"] = float(cache.misses)
     finally:
         model.train(was_training)
 
-    count = len(samples) * repeats
     report = {
         "samples": float(count),
         "uncached_seconds": uncached_seconds,
@@ -317,5 +433,10 @@ def compare_throughput(
             cached_seconds / batched_seconds if batched_seconds > 0 else float("inf")
         ),
     }
+    report.update(compiled)
+    if report.get("compiled_seconds"):
+        report["compiled_f64_speedup"] = speedups["compiled"]
+    if report.get("compiled_f32_seconds"):
+        report["compiled_speedup"] = speedups["compiled_f32"]
     report.update(predictor.stats.latency_percentiles())
     return report

@@ -61,6 +61,7 @@ from ..stream.events import CheckinEvent, event_from_json
 from ..stream.ingest import StreamIngest
 from ..stream.state import AppendResult, UserStateStore
 from .checkpoint import load_checkpoint, read_checkpoint
+from .plans import PlanCache, supports_plans
 from .predictor import (
     LATENCY_PERCENTILES,
     Predictor,
@@ -82,6 +83,14 @@ class ServerConfig:
     not buffered), ``graph_cache_size`` bounds each worker's per-user
     QR-P graph LRU, and ``request_timeout_s`` caps how long a blocking
     ``predict``/HTTP call waits for its future.
+
+    ``compile`` turns captured inference plans on (the default; see
+    :mod:`repro.serve.plans`) — one pool-wide :class:`PlanCache` is
+    shared by every worker, valid because replicas share parameter
+    objects.  ``plan_dtype`` picks the replay precision (``float64``
+    keeps ranked lists bit-identical to eager) and ``plan_cache_size``
+    bounds the number of live plans.  ``compile=False`` (CLI:
+    ``repro serve --no-compile``) is the pure-eager escape hatch.
     """
 
     workers: int = 2
@@ -90,6 +99,9 @@ class ServerConfig:
     max_queue: int = 256
     graph_cache_size: Optional[int] = 256
     request_timeout_s: float = 60.0
+    compile: bool = True
+    plan_dtype: str = "float64"
+    plan_cache_size: int = 32
 
     def __post_init__(self):
         if self.workers < 1:
@@ -104,10 +116,18 @@ class _PooledPredictor(Predictor):
     copies per ``weights_version`` would waste both the compute (once
     per worker at startup and after every reload) and the residency.
     One version-keyed store, guarded by one lock, serves the pool.
+    The plan cache is likewise pool-wide (passed in by the server): a
+    plan traced by one worker replays on all of them, each on its own
+    per-thread buffers.
     """
 
-    def __init__(self, model, graph_cache_size, store):
-        super().__init__(model, graph_cache_size=graph_cache_size)
+    def __init__(self, model, graph_cache_size, store, plan_cache=None):
+        super().__init__(
+            model,
+            graph_cache_size=graph_cache_size,
+            compile=plan_cache is not None,
+            plan_cache=plan_cache,
+        )
         self._store = store
 
     def shared_state(self):
@@ -181,11 +201,17 @@ class InferenceServer:
             max_queue=self.config.max_queue,
         )
         embedding_store = {"lock": threading.Lock(), "version": None, "state": None}
+        self.plan_cache: Optional[PlanCache] = None
+        if self.config.compile and supports_plans(model):
+            self.plan_cache = PlanCache(
+                maxsize=self.config.plan_cache_size, dtype=self.config.plan_dtype
+            )
         self.predictors: List[Predictor] = [
             _PooledPredictor(
                 _replicate_model(model),
                 graph_cache_size=self.config.graph_cache_size,
                 store=embedding_store,
+                plan_cache=self.plan_cache,
             )
             for _ in range(self.config.workers)
         ]
@@ -420,7 +446,9 @@ class InferenceServer:
         Parameters are shared objects across all worker replicas, so
         one ``load_state_dict`` on the primary updates every worker;
         the bumped ``weights_version`` then invalidates each worker's
-        cached embedding tables on its next request.  Extra inference
+        cached embedding tables on its next request — and every cached
+        inference plan, whose keys carry the version (the pool re-traces
+        against the new tables on first use).  Extra inference
         state (e.g. MC count tables) is re-applied to every replica
         explicitly, since it lives in plain attributes that shallow
         copies do not share on reassignment.  A batch already running
@@ -462,7 +490,10 @@ class InferenceServer:
         the backpressure gauges: watching them climb is how operators
         (and the replay bench) see saturation building *before* the
         bounded queue starts returning 429s.  Stateful servers add a
-        ``stream`` section (store occupancy + ingest counters).
+        ``stream`` section (store occupancy + ingest counters), and
+        ``plans`` reports the pool-wide plan cache (trace/hit/miss/
+        fallback counters plus per-plan step and buffer sizes) or
+        ``{"enabled": false}`` when serving eagerly.
         """
         batch_window: List[float] = []
         batch_requests = batch_count = refreshes = hits = 0
@@ -517,6 +548,9 @@ class InferenceServer:
                 },
             },
         }
+        out["plans"] = (
+            self.plan_cache.stats() if self.plan_cache is not None else {"enabled": False}
+        )
         if self.stream is not None:
             out["stream"] = self.stream.stats()
         return out

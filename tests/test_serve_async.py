@@ -573,6 +573,84 @@ class TestServedEquivalence:
             server.reload_weights(str(checkpoint))
 
 
+class TestCompiledServing:
+    """The compiled-plan path through the async runtime (satellite of
+    the trace/plan refactor): identity vs eager, the shared pool-wide
+    plan cache, the ``/stats`` plans section, and the escape hatch."""
+
+    def test_async_compiled_matches_eager(self, tiny, model):
+        _, splits = tiny
+        batch = _edge_case_batch(splits)
+        eager = Predictor(model, graph_cache_size=None, compile=False)
+        expected = {id(s): r for s, r in zip(batch, eager.predict_batch(batch))}
+
+        config = ServerConfig(workers=2, max_batch_size=4, max_wait_ms=2.0)
+        server = InferenceServer(model, config=config).start()
+        try:
+            assert server.plan_cache is not None
+            for sample in batch:
+                served = server.predict(sample, timeout=30.0)
+                want = expected[id(sample)]
+                assert served.ranked_pois == want.ranked_pois
+                assert served.ranked_tiles == want.ranked_tiles
+                assert served.poi_rank == want.poi_rank
+            # every worker replica shares the one plan cache
+            assert all(
+                p.plan_cache is server.plan_cache for p in server.predictors
+            )
+        finally:
+            server.stop(drain=True)
+
+    def test_stats_reports_plans_section(self, tiny, model):
+        _, splits = tiny
+        config = ServerConfig(workers=2, max_batch_size=4, max_wait_ms=2.0)
+        server = InferenceServer(model, config=config).start()
+        try:
+            for sample in splits.test[:8]:
+                server.predict(sample, timeout=30.0)
+            plans = server.stats()["plans"]
+        finally:
+            server.stop(drain=True)
+        assert plans["enabled"] is True
+        assert plans["dtype"] == "float64"
+        assert plans["traces"] >= 1
+        assert plans["misses"] >= plans["traces"]
+        assert plans["hits"] >= 0 and plans["fallbacks"] == 0
+        assert plans["plans"], "at least one live plan after serving"
+        for entry in plans["plans"]:
+            assert len(entry["bucket"]) == 4
+            assert entry["steps"] > 0
+            assert entry["buffer_bytes"] >= 0
+
+    def test_compile_false_escape_hatch(self, tiny, model):
+        _, splits = tiny
+        batch = list(splits.test[:4])
+        eager = Predictor(model, graph_cache_size=None, compile=False)
+        expected = [r.ranked_pois for r in eager.predict_batch(batch)]
+        config = ServerConfig(workers=1, compile=False)
+        server = InferenceServer(model, config=config).start()
+        try:
+            assert server.plan_cache is None
+            served = [server.predict(s, timeout=30.0).ranked_pois for s in batch]
+            assert server.stats()["plans"] == {"enabled": False}
+        finally:
+            server.stop(drain=True)
+        assert served == expected
+
+    def test_plan_dtype_float32_served(self, tiny, model):
+        _, splits = tiny
+        batch = list(splits.test[:4])
+        config = ServerConfig(workers=1, plan_dtype="float32")
+        server = InferenceServer(model, config=config).start()
+        try:
+            results = [server.predict(s, timeout=30.0) for s in batch]
+            plans = server.stats()["plans"]
+        finally:
+            server.stop(drain=True)
+        assert plans["dtype"] == "float32"
+        assert all(r.ranked_pois for r in results)
+
+
 class TestConcurrentPredictor:
     def test_parallel_predicts_match_serial(self, tiny, model):
         _, splits = tiny
