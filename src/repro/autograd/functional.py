@@ -130,11 +130,14 @@ def masked_fill(x: Tensor, mask: ArrayLike, value: float) -> Tensor:
     def grad_fn(g: np.ndarray) -> np.ndarray:
         return unbroadcast(g * (~mask), x.shape)
 
-    # [source mask snapshot, its contiguous full-shape broadcast] — the
-    # mask is a dynamic feed, so the broadcast can only be reused when
-    # the incoming mask still *equals* the snapshot (cheap: masks are
-    # small before broadcasting), never on shape alone.
-    mask_cache: list = [None, None]
+    # Single-slot (source mask snapshot, its contiguous full-shape
+    # broadcast) pair — the mask is a dynamic feed, so the broadcast can
+    # only be reused when the incoming mask still *equals* the snapshot
+    # (cheap: masks are small before broadcasting), never on shape
+    # alone.  The pair lives in one slot so concurrent replay threads
+    # read/write it atomically: a torn (snapshot from batch A, broadcast
+    # from batch B) pairing can never be observed.
+    mask_cache: list = [None]
 
     def kernel(out, a, m):
         # same selection as eager's np.where, staged through the reused
@@ -149,16 +152,17 @@ def masked_fill(x: Tensor, mask: ArrayLike, value: float) -> Tensor:
         if m.shape == a.shape:
             full = m
         else:
-            src, full = mask_cache
+            cached = mask_cache[0]
             if (
-                full is None
-                or full.shape != a.shape
-                or src.shape != m.shape
-                or not np.array_equal(src, m)
+                cached is not None
+                and cached[1].shape == a.shape
+                and cached[0].shape == m.shape
+                and np.array_equal(cached[0], m)
             ):
+                full = cached[1]
+            else:
                 full = np.ascontiguousarray(np.broadcast_to(m, a.shape))
-                mask_cache[0] = m.copy()
-                mask_cache[1] = full
+                mask_cache[0] = (m.copy(), full)
         np.copyto(out, a)
         np.copyto(out, a.dtype.type(value), where=full)
         return out

@@ -56,13 +56,19 @@ class PlanError(RuntimeError):
 
 
 class _PlanContext:
-    """Per-thread buffer set: the value table plus per-step out buffers."""
+    """Per-thread buffer set: the value table plus per-step out buffers.
 
-    __slots__ = ("values", "outs")
+    Run and buffer-byte counters live here too, so the hot path mutates
+    only thread-private state — ``Plan.run`` never takes the plan lock.
+    """
+
+    __slots__ = ("values", "outs", "runs", "buffer_bytes")
 
     def __init__(self, num_values: int, num_steps: int):
         self.values: List = [None] * num_values
         self.outs: List = [None] * num_steps
+        self.runs = 0
+        self.buffer_bytes = 0
 
 
 class Plan:
@@ -86,11 +92,11 @@ class Plan:
         self.num_values = num_values
         self.folded_steps = folded_steps
         self.constant_bytes = constant_bytes
-        self.runs = 0
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._contexts = 0
-        self._buffer_bytes_per_context = 0
+        # every thread's context, appended under the lock on first use;
+        # stats properties aggregate across it without touching run()
+        self._all_contexts: List[_PlanContext] = []
 
     # ------------------------------------------------------------------
     # introspection
@@ -101,7 +107,16 @@ class Plan:
 
     @property
     def contexts(self) -> int:
-        return self._contexts
+        return len(self._all_contexts)
+
+    @property
+    def runs(self) -> int:
+        """Total run() invocations, summed over all thread contexts.
+
+        Each context's counter is bumped lock-free by its owning thread;
+        the sum is a consistent-enough snapshot for stats.
+        """
+        return sum(ctx.runs for ctx in tuple(self._all_contexts))
 
     @property
     def buffer_bytes(self) -> int:
@@ -111,7 +126,7 @@ class Plan:
         upper bound; it exists for the ``/stats`` plans section, not for
         accounting.
         """
-        return self._buffer_bytes_per_context * self._contexts
+        return sum(ctx.buffer_bytes for ctx in tuple(self._all_contexts))
 
     def describe(self) -> Dict:
         """Summary dict used by ``/stats`` and the example tour."""
@@ -122,7 +137,7 @@ class Plan:
             "inputs": sorted(self.inputs),
             "constant_bytes": self.constant_bytes,
             "buffer_bytes": self.buffer_bytes,
-            "contexts": self._contexts,
+            "contexts": self.contexts,
             "runs": self.runs,
         }
 
@@ -139,7 +154,7 @@ class Plan:
             ctx = _PlanContext(self.num_values, len(self.steps))
             self._local.ctx = ctx
             with self._lock:
-                self._contexts += 1
+                self._all_contexts.append(ctx)
         return ctx
 
     def run(self, feeds: Dict[str, np.ndarray]) -> List[np.ndarray]:
@@ -173,10 +188,9 @@ class Plan:
             result = kernel(outs[i], *resolved)
             outs[i] = result
             values[out_index] = result
-        with self._lock:
-            self.runs += 1
-            if self._buffer_bytes_per_context == 0 and outs:
-                self._buffer_bytes_per_context = sum(
-                    o.nbytes for o in outs if isinstance(o, np.ndarray)
-                )
+        ctx.runs += 1
+        if ctx.buffer_bytes == 0 and outs:
+            ctx.buffer_bytes = sum(
+                o.nbytes for o in outs if isinstance(o, np.ndarray)
+            )
         return [values[o] if type(o) is int else o for o in self.outputs]

@@ -739,7 +739,10 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     take_a = a.data >= b.data
-    data = np.where(take_a, a.data, b.data)
+    # the eager value and the replay kernel are the same ufunc, so the
+    # two paths agree bit-for-bit even on NaN inputs (np.maximum
+    # propagates NaN; a hand-rolled ``where(x >= y, x, y)`` would not)
+    data = np.maximum(a.data, b.data)
     return Tensor._make(
         data,
         (a, b),
@@ -748,7 +751,7 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
             lambda g: unbroadcast(g * (~take_a), b.shape),
         ),
         "maximum",
-        kernel=lambda out, x, y: np.where(x >= y, x, y),
+        kernel=_ufunc_kernel(np.maximum),
     )
 
 

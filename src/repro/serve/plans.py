@@ -75,6 +75,7 @@ class PlanCache:
         samples: Sequence,
         tile_embeddings,
         poi_embeddings,
+        version: Optional[int] = None,
     ):
         """The cached (or freshly traced) plan for this batch's bucket.
 
@@ -82,16 +83,25 @@ class PlanCache:
         happens outside the lock — a worker building a plan never stalls
         the others; if two workers race the same cold bucket, both trace
         and the second insert wins (identical plans, wasted work once).
+
+        ``version`` is the ``weights_version`` the embedding tables were
+        captured at (see ``Predictor.shared_state_versioned``); it keys
+        the cache so a plan is only ever stored under the generation its
+        baked constants came from.  When omitted, the live version is
+        read here (callers passing freshly computed tables).
         """
         if not samples:
             return None
-        version = model.weights_version()
+        if version is None:
+            version = model.weights_version()
         bucket = model.plan_bucket(samples)
         key = (version, str(self.dtype), bucket)
         with self._lock:
-            if version != self._version:
+            if self._version is None or version > self._version:
                 # new weights generation: drop the old plans eagerly so
-                # their baked constants don't linger until LRU pressure
+                # their baked constants don't linger until LRU pressure.
+                # Only move forward — a caller holding pre-reload tables
+                # must not wipe plans already traced for the new weights.
                 self._entries.clear()
                 self._version = version
             cached = self._entries.get(key)
@@ -109,11 +119,18 @@ class PlanCache:
             )
         except TraceError:
             with self._lock:
-                self._put(key, _EAGER)
+                if version == self._version:
+                    self._put(key, _EAGER)
                 self.fallbacks += 1
             return None
+        # A reload landing during the build mixes the caller's tables
+        # with post-reload live parameters: usable for this one batch
+        # (eager would read the same mix), but never cached — the next
+        # batch captures post-reload tables and re-traces cleanly.
+        fresh = model.weights_version() == version
         with self._lock:
-            self._put(key, entry)
+            if fresh and version == self._version:
+                self._put(key, entry)
             self.traces += 1
         return entry
 

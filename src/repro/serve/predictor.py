@@ -195,6 +195,19 @@ class Predictor:
         refresh the tables exactly once per ``weights_version`` instead
         of racing duplicate recomputes.
         """
+        return self.shared_state_versioned()[1]
+
+    def shared_state_versioned(self) -> Tuple[Optional[int], Tuple[Any, ...]]:
+        """``(weights_version, shared_state)`` captured under one lock.
+
+        The version is read under the same lock that refreshes the
+        tables, so it names exactly the generation the returned tables
+        were computed from.  The compiled path keys its plan cache on
+        this captured version — keying on a *re-read* of
+        ``weights_version()`` would let a hot reload landing in between
+        cache a plan baked from pre-reload tables under the post-reload
+        version, where the version-keyed invalidation never fires.
+        """
         with self._shared_lock:
             version = self.model.weights_version()
             if self._shared is None or version != self._shared_version:
@@ -203,7 +216,7 @@ class Predictor:
                 self.stats.embedding_refreshes += 1
             else:
                 self.stats.embedding_cache_hits += 1
-            return self._shared
+            return version, self._shared
 
     def invalidate(self) -> None:
         """Drop cached shared state (forced refresh on the next request)."""
@@ -241,10 +254,12 @@ class Predictor:
             self.model.eval()
         try:
             with no_grad():
-                shared = self.shared_state()
+                version, shared = self.shared_state_versioned()
                 results = None
                 if self.plan_cache is not None and samples:
-                    entry = self.plan_cache.entry_for(self.model, samples, *shared)
+                    entry = self.plan_cache.entry_for(
+                        self.model, samples, *shared, version=version
+                    )
                     if entry is not None:
                         results = self.model.predict_batch_compiled(
                             samples, entry, *shared, k=k

@@ -130,7 +130,7 @@ class _PooledPredictor(Predictor):
         )
         self._store = store
 
-    def shared_state(self):
+    def shared_state_versioned(self):
         store = self._store
         with store["lock"]:
             version = self.model.weights_version()
@@ -140,7 +140,7 @@ class _PooledPredictor(Predictor):
                 self.stats.embedding_refreshes += 1
             else:
                 self.stats.embedding_cache_hits += 1
-            return store["state"]
+            return version, store["state"]
 
     def invalidate(self):
         with self._store["lock"]:

@@ -277,6 +277,39 @@ class TestPlanCacheBehaviour:
         _assert_identical(compiled.predict_batch(batch), eager.predict_batch(batch))
         assert compiled.plan_cache.traces == 2  # stale plan dropped, re-traced
 
+    def test_reload_during_build_is_not_cached(self, tiny, monkeypatch):
+        """A reload landing mid-trace must not leave a stale cached plan.
+
+        The plan is built from the embedding tables captured *before*
+        the reload; caching it under any version would serve pre-reload
+        constants after the version-keyed invalidation should have
+        retired them.  The batch itself is served, nothing is cached,
+        and the next batch re-traces against the new weights.
+        """
+        dataset, splits = tiny
+        model = TSPNRA.from_dataset(dataset, TSPNRAConfig(**CFG), rng=spawn(0))
+        model.eval()
+        batch = list(splits.test[:4])
+        eager = Predictor(model, graph_cache_size=None, compile=False)
+        compiled = Predictor(model, graph_cache_size=None, compile=True)
+        orig_build = model.build_encode_plan
+
+        def reload_lands_mid_build(*args, **kwargs):
+            entry = orig_build(*args, **kwargs)
+            model.load_state_dict(model.state_dict())  # hot reload races the build
+            return entry
+
+        monkeypatch.setattr(model, "build_encode_plan", reload_lands_mid_build)
+        compiled.predict_batch(batch)
+        assert compiled.plan_cache.traces == 1
+        assert len(compiled.plan_cache) == 0  # built, served, discarded
+        monkeypatch.setattr(model, "build_encode_plan", orig_build)
+        _assert_identical(compiled.predict_batch(batch), eager.predict_batch(batch))
+        assert compiled.plan_cache.traces == 2  # clean re-trace, now cached
+        assert len(compiled.plan_cache) == 1
+        _assert_identical(compiled.predict_batch(batch), eager.predict_batch(batch))
+        assert compiled.plan_cache.hits == 1
+
     def test_trace_failure_falls_back_to_eager(self, tiny, model, monkeypatch):
         _, splits = tiny
         batch = list(splits.test[:4])

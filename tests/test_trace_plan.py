@@ -20,6 +20,8 @@ from repro.autograd import (
     arange,
     conv2d,
     get_default_dtype,
+    masked_fill,
+    maximum,
     no_grad,
     ones,
     pad_stack,
@@ -306,3 +308,62 @@ class TestPlanReuse:
         outs = plan.run({"x": x_arr})
         assert all(isinstance(o, np.ndarray) for o in outs)
         assert isinstance(plan, Plan)
+
+
+# ----------------------------------------------------------------------
+# replay-kernel consistency regressions
+# ----------------------------------------------------------------------
+class TestReplayKernelConsistency:
+    def test_maximum_replay_matches_eager_on_nan(self):
+        """Replay uses the same np.maximum ufunc as eager — NaN included."""
+        rng = spawn(11)
+        x_arr = rng.standard_normal((2, 3))
+        y = Tensor(rng.standard_normal((2, 3)))
+        with no_grad(), trace() as tr:
+            x = Tensor(tr.input("x", x_arr))
+            out = maximum(x, y)
+        plan = tr.finalize([out])
+        x_nan = x_arr.copy()
+        x_nan[0, 0] = np.nan
+        with no_grad():
+            want = maximum(Tensor(x_nan), y).data
+        (got,) = plan.run({"x": x_nan})
+        assert np.isnan(got[0, 0])  # NaN propagates, like np.maximum
+        assert np.array_equal(got, want, equal_nan=True)
+
+    def test_masked_fill_concurrent_dynamic_masks(self):
+        """Threads replaying one plan with different masks never mix them.
+
+        The broadcast-mask cache inside masked_fill's replay kernel is
+        shared by every thread replaying the plan; a torn
+        (snapshot, broadcast) pairing would fill one batch with another
+        batch's mask while still passing the equality revalidation.
+        """
+        rng = spawn(12)
+        x_arr = rng.standard_normal((4, 6))
+        m_arr = np.zeros((1, 6), dtype=bool)
+        with no_grad(), trace() as tr:
+            x = Tensor(tr.input("x", x_arr))
+            m = tr.input("m", m_arr)
+            out = masked_fill(x, m, -1e9)
+        plan = tr.finalize([out])
+        errors = []
+
+        def worker(seed):
+            try:
+                t_rng = spawn(seed)
+                for _ in range(200):
+                    mask = t_rng.random((1, 6)) < 0.5
+                    feed = t_rng.standard_normal((4, 6))
+                    (got,) = plan.run({"x": feed, "m": mask})
+                    if not np.array_equal(got, np.where(mask, -1e9, feed)):
+                        raise AssertionError("replay used a foreign mask")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(100 + i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
