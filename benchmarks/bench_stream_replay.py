@@ -3,7 +3,7 @@ BENCH_stream.
 
 Seeds the BENCH trajectory for the ``repro.stream`` subsystem.  A
 trained quick-profile NYC model replays the dataset's check-ins in
-global time order through two deployments of the same predictor:
+global time order through three deployments of the same predictor:
 
 * **baseline** — the serialised, stateless cost model: every arrival
   that warrants a prediction first rebuilds the user's sessions from
@@ -15,14 +15,23 @@ global time order through two deployments of the same predictor:
   retired exactly when the history moves, and predictions flushed
   through the vectorised ``predict_batch`` in cross-user chunks
   (sound under prequential order because every sample is an immutable
-  pre-ingest snapshot).
+  pre-ingest snapshot);
+* **incremental** — the stream leg plus O(session) QR-P maintenance:
+  the store keeps each user's live graph, session rollovers update it
+  incrementally (:class:`~repro.graphs.QRPGraphMaintainer`) and push
+  the fresh ``(qrp, masks)`` entry into the serving cache, so a
+  rollover is cache-neutral instead of an O(history) rebuild on the
+  next miss.
 
-Both legs make identical prediction decisions from identical inputs,
-so their ranked lists must agree (asserted) — the comparison isolates
-the *architecture*, not the model.  The acceptance gate asserts the
-streaming leg sustains >= 2x the baseline's ingest+predict events/sec.
-Alongside the human-readable table the run emits
-``benchmarks/results/BENCH_stream.json``.  Run standalone with
+All legs make identical prediction decisions from identical inputs, so
+their ranked lists must agree (asserted) — the comparison isolates the
+*architecture*, not the model.  Legs run interleaved round-robin over
+``ROUNDS`` rounds and each speedup is the median of per-round paired
+ratios, the same discipline as BENCH_serve.  The acceptance gates
+assert the streaming leg sustains >= 2x the baseline's ingest+predict
+events/sec and the incremental leg >= 1.5x (it additionally holds off
+rebuild-per-rollover).  Alongside the human-readable table the run
+emits ``benchmarks/results/BENCH_stream.json``.  Run standalone with
 ``PYTHONPATH=src python benchmarks/bench_stream_replay.py``
 (the CI ``serve-smoke`` job does exactly that and uploads the JSON).
 """
@@ -42,6 +51,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 MAX_EVENTS = 1200
 BATCH_SIZE = 32
+ROUNDS = 3
 
 
 def run_bench(profile=None, save_report=None):
@@ -52,10 +62,13 @@ def run_bench(profile=None, save_report=None):
 
     predictor = Predictor(model, graph_cache_size=512)
     comparison = compare_replay(
-        predictor, events, batch_size=BATCH_SIZE, max_events=MAX_EVENTS
+        predictor,
+        events,
+        batch_size=BATCH_SIZE,
+        max_events=MAX_EVENTS,
+        rounds=ROUNDS,
     )
     reports = comparison.pop("_reports")
-    stream, baseline = reports["stream"], reports["baseline"]
 
     rows = [
         [
@@ -67,14 +80,20 @@ def run_bench(profile=None, save_report=None):
             f"{report.metrics['Recall@10']:.4f}",
             f"{report.metrics['MRR']:.4f}",
         ]
-        for report in (baseline, stream)
+        for report in (
+            reports["baseline"],
+            reports["stream"],
+            reports["incremental"],
+        )
     ]
     table = format_table(
         ["Leg", "Events", "Predictions", "Seconds", "Events/s", "Recall@10", "MRR"],
         rows,
         title=(
             "Prequential streaming replay — incremental user state vs "
-            f"serialised full rebuild (NYC, {comparison['speedup']:.2f}x)"
+            f"serialised full rebuild (NYC, stream {comparison['speedup']:.2f}x, "
+            f"incremental {comparison['incremental_speedup']:.2f}x, "
+            f"median of {ROUNDS} paired rounds)"
         ),
     )
     if save_report is not None:
@@ -96,9 +115,12 @@ def run_bench(profile=None, save_report=None):
     print(f"[BENCH trajectory point saved to {out}]")
 
     # identical inputs + deterministic eval-mode inference => identical
-    # ranked lists; a mismatch means the store mis-split a session
+    # ranked lists; a mismatch means the store mis-split a session (or
+    # an incremental graph diverged from the rebuild)
     assert comparison["ranked_lists_identical"], trajectory_point
+    assert comparison["incremental_ranked_identical"], trajectory_point
     assert comparison["speedup"] >= 2.0, trajectory_point
+    assert comparison["incremental_speedup"] >= 1.5, trajectory_point
     return trajectory_point
 
 

@@ -104,6 +104,14 @@ def save_snapshot(store: UserStateStore, directory, last_seq: int) -> Path:
             "events": stats["events"],
             "rollovers": stats["sessions_rolled"],
             "forced_rolls": stats["forced_rolls"],
+            # lifetime incremental-graph counters ride along so a
+            # recovered shard's /stats keeps the pre-crash totals; the
+            # graphs themselves are never persisted — they are a pure
+            # function of the session deque and re-materialise lazily
+            # on the first post-recovery rollover
+            "graph_updates": stats.get("graph_updates", 0),
+            "graph_evictions": stats.get("graph_evictions", 0),
+            "graph_rebuilds": stats.get("graph_rebuilds", 0),
         },
     }
     arrays = {
@@ -210,6 +218,9 @@ def load_snapshot(path, config: Optional[StoreConfig] = None) -> LoadedSnapshot:
         events=counters.get("events", 0),
         rollovers=counters.get("rollovers", 0),
         forced_rolls=counters.get("forced_rolls", 0),
+        graph_updates=counters.get("graph_updates", 0),
+        graph_evictions=counters.get("graph_evictions", 0),
+        graph_rebuilds=counters.get("graph_rebuilds", 0),
     )
     return LoadedSnapshot(
         store=store,

@@ -18,7 +18,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..autograd import Tensor, masked_fill, softmax
-from ..graphs import EDGE_TYPES, QRPGraph
+from ..graphs import EDGE_TYPES, QRPGraph, attention_masks
 from ..nn import Linear, Module, ModuleList
 from ..nn.module import Parameter
 from ..nn import init as nn_init
@@ -76,15 +76,14 @@ class HGATEncoder(Module):
 
     @staticmethod
     def build_masks(qrp: QRPGraph) -> Dict[str, np.ndarray]:
-        """Dense blocked-attention masks per edge type."""
-        n = qrp.graph.num_nodes
-        masks = {}
-        for kind in EDGE_TYPES:
-            mask = np.ones((n, n), dtype=bool)
-            for src, dst in qrp.graph.edges[kind]:
-                mask[dst, src] = False  # dst attends to src
-            masks[kind] = mask
-        return masks
+        """Dense blocked-attention masks per edge type.
+
+        Delegates to :func:`repro.graphs.attention_masks` — one
+        advanced-indexing assignment per edge type instead of a Python
+        per-edge loop — so the serve path, the incremental maintainer,
+        and the differential harness all share one mask constructor.
+        """
+        return attention_masks(qrp)
 
     def forward(self, qrp: QRPGraph, h0: Tensor, masks: Dict[str, np.ndarray] = None) -> Tensor:
         """Run all rounds; ``h0`` rows follow the graph's local indexing.

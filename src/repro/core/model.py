@@ -233,6 +233,21 @@ class TSPNRA(Module, PredictorBase):
         self._graph_cache = cache
         return True
 
+    def stream_graph_maintainer(self):
+        """Incremental QR-P maintainer whose graphs this model can serve.
+
+        ``None`` when pushed entries would be wrong for this
+        configuration: graph-free models never read the cache, and the
+        ``drop_edge_type`` ablations serve *stripped* graphs, not the
+        canonical ones the maintainer produces.  The cache-key protocol
+        keeps correctness either way — this gate only decides whether
+        the ingest pipeline may push pre-built entries.
+        """
+        if not self.config.use_graph or self.config.drop_edge_type:
+            return None
+        factory = getattr(self.tile_system, "graph_maintainer", None)
+        return factory() if callable(factory) else None
+
     # ------------------------------------------------------------------
     # encoding
     # ------------------------------------------------------------------

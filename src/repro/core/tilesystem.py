@@ -12,10 +12,10 @@ graph.  Two implementations exist:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..data.trajectory import Trajectory, concat_history
-from ..graphs import HeteroGraph, QRPGraph, build_qrp_graph
+from ..graphs import HeteroGraph, QRPGraph, QRPGraphMaintainer, build_qrp_graph
 from ..spatial import GridIndex, RegionQuadTree
 
 
@@ -25,6 +25,7 @@ class QuadTreeTileSystem:
     def __init__(self, tree: RegionQuadTree, road_adjacency: Set[Tuple[int, int]]):
         self.tree = tree
         self.road_adjacency = road_adjacency
+        self._maintainer: Optional[QRPGraphMaintainer] = None
 
     @property
     def num_tiles(self) -> int:
@@ -42,6 +43,20 @@ class QuadTreeTileSystem:
 
     def build_graph(self, history: Sequence[Trajectory]) -> QRPGraph:
         return build_qrp_graph(self.tree, self.road_adjacency, history)
+
+    def graph_maintainer(self) -> QRPGraphMaintainer:
+        """The shared incremental QR-P maintainer for this tile system.
+
+        Memoised so every worker replica (which shares the tile-system
+        object zero-copy) attaches the *same* maintainer to the user
+        store — the store accepts one maintainer and keeps pushing
+        fresh graph entries to every compatible worker cache.
+        ``GridTileSystem`` deliberately has no counterpart: its grid
+        graphs fall back to full rebuilds on the cache-miss path.
+        """
+        if self._maintainer is None:
+            self._maintainer = QRPGraphMaintainer(self.tree, self.road_adjacency)
+        return self._maintainer
 
 
 class GridTileSystem:

@@ -1,6 +1,15 @@
 """Heterogeneous graphs and the QR-P graph construction."""
 
 from .hetero import EDGE_TYPES, NODE_TYPES, HeteroGraph
+from .incremental import (
+    QRPGraphMaintainer,
+    QRPGraphState,
+    StaleEvictionError,
+    attention_masks,
+    evict_qrp_graph,
+    graphs_equal,
+    update_qrp_graph,
+)
 from .qrp import QRPGraph, build_qrp_graph, strip_edges
 
 __all__ = [
@@ -8,6 +17,13 @@ __all__ = [
     "HeteroGraph",
     "NODE_TYPES",
     "QRPGraph",
+    "QRPGraphMaintainer",
+    "QRPGraphState",
+    "StaleEvictionError",
+    "attention_masks",
     "build_qrp_graph",
+    "evict_qrp_graph",
+    "graphs_equal",
     "strip_edges",
+    "update_qrp_graph",
 ]

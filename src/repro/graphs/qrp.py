@@ -95,6 +95,21 @@ def build_qrp_graph(
     )
 
 
+def update_qrp_graph(state, new_trajectory: Trajectory) -> QRPGraph:
+    """Incremental counterpart of :func:`build_qrp_graph`.
+
+    ``state`` is a :class:`~repro.graphs.incremental.QRPGraphState`
+    (made by a :class:`~repro.graphs.incremental.QRPGraphMaintainer`);
+    folding one newly completed session costs O(session) instead of
+    O(history) and yields a graph identical to a full rebuild.  Defined
+    in :mod:`repro.graphs.incremental`; re-exported here because it is
+    this module's construction that it maintains.
+    """
+    from .incremental import update_qrp_graph as _update
+
+    return _update(state, new_trajectory)
+
+
 def strip_edges(qrp: QRPGraph, edge_type: str) -> QRPGraph:
     """Copy of the graph without one edge type (Table IV fine-grained
     ablations: "QR-P with no Road" / "QR-P with no Contain")."""

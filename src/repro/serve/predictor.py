@@ -185,6 +185,17 @@ class Predictor:
         predictor.dataset = loaded.dataset
         return predictor
 
+    def stream_graph_maintainer(self):
+        """The model's incremental QR-P maintainer, or ``None``.
+
+        ``StreamIngest.register_predictor`` calls this to decide
+        whether freshly rolled graph entries may be pushed into this
+        predictor's cache (see ``TSPNRA.stream_graph_maintainer`` for
+        the compatibility gate; baselines simply lack the hook).
+        """
+        factory = getattr(self.model, "stream_graph_maintainer", None)
+        return factory() if callable(factory) else None
+
     # ------------------------------------------------------------------
     # shared-state cache
     # ------------------------------------------------------------------

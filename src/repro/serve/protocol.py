@@ -188,6 +188,11 @@ class PredictorBase:
         """Adopt an external per-user graph cache; most models have none."""
         return False
 
+    def stream_graph_maintainer(self):
+        """Incremental QR-P maintainer for stream pushes; most models
+        have no graph stage, so the default opts out."""
+        return None
+
     # ------------------------------------------------------------------
     # persistence hooks (checkpoint side-state beyond parameters)
     # ------------------------------------------------------------------

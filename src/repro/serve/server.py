@@ -224,7 +224,10 @@ class InferenceServer:
         self._stopped = False
         # Stateful serving: the server owns per-user check-in state.
         # The ingest pipeline sees every worker's QR-P graph LRU, so a
-        # session rollover retires the stale per-user entry everywhere.
+        # session rollover retires the stale per-user entry everywhere
+        # — and, when the model exposes an incremental QR-P maintainer,
+        # pushes the O(session)-updated replacement into each worker
+        # cache so the next predict is a hit instead of a rebuild.
         # A caller-supplied ``ingest`` (e.g. repro.cluster's
         # DurableIngest, which logs every acknowledged event) replaces
         # the default pipeline; its store becomes the server's.
@@ -239,10 +242,9 @@ class InferenceServer:
             self.state_store = state_store
             self.stream = None
             if state_store is not None:
-                self.stream = StreamIngest(
-                    state_store,
-                    caches=[predictor.graph_cache for predictor in self.predictors],
-                )
+                self.stream = StreamIngest(state_store)
+                for predictor in self.predictors:
+                    self.stream.register_predictor(predictor)
 
     @classmethod
     def from_checkpoint(

@@ -13,6 +13,14 @@
   embedding tables ride ``weights_version``: the version is baked into
   the cache key, so even a missed drop can only waste an LRU slot,
   never serve a stale graph.
+* when the store maintains incremental QR-P graphs (a
+  :class:`~repro.graphs.QRPGraphMaintainer` attached via
+  :meth:`register_predictor`), the same append also carries the
+  *replacement* entry — the O(session)-updated ``(qrp, masks)`` under
+  the new ``history_version`` key — which is pushed into every
+  graph-compatible cache.  Retire-then-push makes a rollover
+  cache-neutral: the next predict for that user hits a fresh entry
+  instead of paying an O(history) rebuild.
 
 Registered caches are the per-worker QR-P graph LRUs of an
 :class:`~repro.serve.InferenceServer` (or a single offline
@@ -44,10 +52,12 @@ class StreamIngest:
     ):
         self.store = store if store is not None else UserStateStore(StoreConfig())
         self._caches: List[LRUCache] = [c for c in caches if c is not None]
+        self._push_caches: List[LRUCache] = []
         self._lock = threading.Lock()
         self.events = 0
         self.rollovers = 0
         self.invalidations = 0  # cache entries actually removed
+        self.graph_pushes = 0  # fresh incremental entries installed
 
     def register_cache(self, cache: Optional[LRUCache]) -> None:
         """Add a serving-layer graph cache to the invalidation set.
@@ -59,23 +69,52 @@ class StreamIngest:
         if cache is not None:
             self._caches.append(cache)
 
-    def register_predictor(self, predictor) -> None:
-        """Register a :class:`~repro.serve.Predictor`'s graph cache."""
-        self.register_cache(getattr(predictor, "graph_cache", None))
+    def register_predictor(self, predictor, incremental: bool = True) -> None:
+        """Register a :class:`~repro.serve.Predictor`'s graph cache.
+
+        When the predictor's model exposes a compatible incremental
+        QR-P maintainer (``stream_graph_maintainer``) and the store
+        accepts it, this cache also joins the *push* set: each session
+        rollover installs the freshly updated graph entry right after
+        retiring the stale one.  ``incremental=False`` opts a cache out
+        of pushes (invalidation still applies) — the rebuild-per-miss
+        baseline the benchmarks compare against.
+        """
+        cache = getattr(predictor, "graph_cache", None)
+        self.register_cache(cache)
+        if cache is None or not incremental:
+            return
+        factory = getattr(predictor, "stream_graph_maintainer", None)
+        maintainer = factory() if callable(factory) else None
+        if maintainer is None:
+            return
+        if self.store.attach_graph_maintainer(maintainer):
+            self._push_caches.append(cache)
 
     def ingest(self, event: CheckinEvent) -> AppendResult:
-        """Append one event; drop the graph-cache key it made stale."""
+        """Append one event; retire the stale graph entry, push the new.
+
+        The pop precedes the push and the keys differ (the history
+        version moved), so each registered cache sees exactly one
+        retirement per history change — pushes can only add the
+        replacement entry, never resurrect the retired key.
+        """
         result = self.store.append(event)
-        dropped = 0
+        dropped = pushed = 0
         if result.invalidated_key is not None:
             for cache in self._caches:
                 if cache.pop(result.invalidated_key) is not None:
                     dropped += 1
+            if result.graph_entry is not None:
+                for cache in self._push_caches:
+                    cache.put(result.history_key, result.graph_entry)
+                    pushed += 1
         with self._lock:
             self.events += 1
             if result.session_rolled:
                 self.rollovers += 1
             self.invalidations += dropped
+            self.graph_pushes += pushed
         return result
 
     def ingest_many(self, events: Iterable[CheckinEvent]) -> List[AppendResult]:
@@ -88,6 +127,8 @@ class StreamIngest:
                 "ingested": self.events,
                 "rollovers": self.rollovers,
                 "cache_invalidations": self.invalidations,
+                "graph_pushes": self.graph_pushes,
                 "registered_caches": len(self._caches),
+                "push_caches": len(self._push_caches),
             }
         return {**self.store.stats(), **counters}

@@ -121,20 +121,24 @@ def prequential_replay(
     ks: Iterable[int] = DEFAULT_KS,
     keep_results: bool = False,
     max_events: Optional[int] = None,
+    incremental: bool = True,
 ) -> ReplayReport:
     """Replay ``events`` through ingest-then-predict, prequentially.
 
     ``predictor`` is a :class:`~repro.serve.Predictor` (its QR-P graph
     cache, when present, is registered with the ingest pipeline so
-    session rollovers retire stale entries).  Passing an existing
-    ``ingest`` continues a warm store — e.g. the one a live
-    :class:`~repro.serve.InferenceServer` owns.
+    session rollovers retire stale entries — and, by default, receive
+    the incrementally updated replacement graphs; ``incremental=False``
+    keeps the PR 5 rebuild-on-miss behaviour for comparison legs).
+    Passing an existing ``ingest`` continues a warm store — e.g. the
+    one a live :class:`~repro.serve.InferenceServer` owns — with
+    whatever registrations it already carries.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     if ingest is None:
         ingest = StreamIngest(UserStateStore(store_config or StoreConfig()))
-        ingest.register_predictor(predictor)
+        ingest.register_predictor(predictor, incremental=incremental)
     events = list(events)
     if max_events is not None:
         events = events[:max_events]
@@ -273,6 +277,14 @@ def offline_reference(
     return reference
 
 
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
 def compare_replay(
     predictor,
     events: Sequence[CheckinEvent],
@@ -281,21 +293,39 @@ def compare_replay(
     store_config: Optional[StoreConfig] = None,
     ks: Iterable[int] = DEFAULT_KS,
     max_events: Optional[int] = None,
+    rounds: int = 1,
 ) -> Dict:
-    """Run both legs over one event stream and report the speedup.
+    """Run all three legs over one event stream and report the speedups.
 
-    The baseline runs first, then the streaming leg; the predictor's
-    graph cache is cleared between legs so neither inherits the other's
-    warm entries, and the shared embedding tables are computed once
-    *before* either timed loop — both legs reuse them identically (the
-    tables are a pure function of the weights, not of the stream), so
-    the speedup measures the state architecture, not who paid the
-    one-time warm-up.  The default store bounds are widened so the
-    streaming leg's (bounded) history matches the baseline's unbounded
-    rebuild on any realistic replay — the two legs must produce
-    identical full ranked candidate lists (reported as
-    ``ranked_lists_identical``).
+    Legs, over identical events with identical prediction decisions:
+
+    * ``baseline`` — the serialised stateless rebuild (PR 5's cost
+      model);
+    * ``stream`` — the stored-state path with rebuild-on-cache-miss
+      graphs (the PR 5 streaming configuration);
+    * ``incremental`` — the stored-state path with the O(session)
+      graph maintainer pushing updated entries on every rollover.
+
+    The predictor's graph cache is cleared before every leg pass so
+    none inherits another's warm entries, and the shared embedding
+    tables are computed once *before* any timed loop — all legs reuse
+    them identically (the tables are a pure function of the weights,
+    not of the stream), so the speedups measure the state
+    architecture, not who paid the one-time warm-up.  The default
+    store bounds are widened so the streaming legs' (bounded) history
+    matches the baseline's unbounded rebuild on any realistic replay —
+    all legs must produce identical full ranked candidate lists
+    (``ranked_lists_identical`` / ``incremental_ranked_identical``).
+
+    With ``rounds > 1`` the legs run *interleaved round-robin* and each
+    speedup is the **median of per-round paired ratios** — the serve
+    bench's idiom: a contention burst inflates both passes of a round
+    and cancels in their ratio, where a ratio of independent leg totals
+    would not.  The reported leg dicts come from the first round (the
+    one that keeps per-prediction results for the identity checks).
     """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
     if store_config is None:
         store_config = StoreConfig(max_sessions=4096, max_session_visits=4096)
     events = list(events)
@@ -307,40 +337,59 @@ def compare_replay(
         if cache is not None:
             cache.clear()
 
-    predictor.shared_state()  # warm the embedding tables for both legs
+    predictor.shared_state()  # warm the embedding tables for every leg
 
-    reset_cache()
-    baseline = serialised_rebuild_baseline(
-        predictor,
-        events,
-        gap_hours=store_config.gap_hours,
-        ks=ks,
-        keep_results=True,
-    )
-    reset_cache()
-    stream = prequential_replay(
-        predictor,
-        events,
-        store_config=store_config,
-        batch_size=batch_size,
-        ks=ks,
-        keep_results=True,
-    )
+    def run_leg(leg: str, keep: bool) -> ReplayReport:
+        reset_cache()
+        if leg == "baseline":
+            return serialised_rebuild_baseline(
+                predictor,
+                events,
+                gap_hours=store_config.gap_hours,
+                ks=ks,
+                keep_results=keep,
+            )
+        report = prequential_replay(
+            predictor,
+            events,
+            store_config=store_config,
+            batch_size=batch_size,
+            ks=ks,
+            keep_results=keep,
+            incremental=(leg == "incremental"),
+        )
+        report.leg = leg
+        return report
 
-    speedup = (
-        stream.events_per_second / baseline.events_per_second
-        if baseline.events_per_second > 0
-        else float("inf")
-    )
-    identical = [r.result.ranked_pois for r in stream.records] == [
-        r.result.ranked_pois for r in baseline.records
-    ]
+    leg_names = ("baseline", "stream", "incremental")
+    first: Dict[str, ReplayReport] = {}
+    seconds: Dict[str, List[float]] = {name: [] for name in leg_names}
+    for round_index in range(rounds):
+        for name in leg_names:
+            report = run_leg(name, keep=(round_index == 0))
+            seconds[name].append(report.seconds)
+            if round_index == 0:
+                first[name] = report
+
+    def paired_ratio(slow: str, fast: str) -> float:
+        ratios = [s / f for s, f in zip(seconds[slow], seconds[fast]) if f > 0]
+        return _median(ratios) if ratios else float("inf")
+
+    ranked = {
+        name: [r.result.ranked_pois for r in first[name].records]
+        for name in leg_names
+    }
     return {
         "events": len(events),
         "batch_size": batch_size,
-        "stream": stream.as_dict(),
-        "baseline": baseline.as_dict(),
-        "speedup": round(speedup, 4),
-        "ranked_lists_identical": identical,
-        "_reports": {"stream": stream, "baseline": baseline},
+        "rounds": rounds,
+        "baseline": first["baseline"].as_dict(),
+        "stream": first["stream"].as_dict(),
+        "incremental": first["incremental"].as_dict(),
+        "speedup": round(paired_ratio("baseline", "stream"), 4),
+        "incremental_speedup": round(paired_ratio("baseline", "incremental"), 4),
+        "incremental_vs_stream": round(paired_ratio("stream", "incremental"), 4),
+        "ranked_lists_identical": ranked["stream"] == ranked["baseline"],
+        "incremental_ranked_identical": ranked["incremental"] == ranked["baseline"],
+        "_reports": dict(first),
     }

@@ -39,6 +39,7 @@ from ..data.trajectory import (
     Trajectory,
     Visit,
 )
+from ..graphs import StaleEvictionError
 from .events import CheckinEvent
 
 
@@ -87,7 +88,12 @@ class AppendResult:
 
     ``invalidated_key`` is the graph-cache key made stale by this
     append (set exactly when the completed-session history changed);
-    the ingest pipeline drops it from the serving caches.
+    the ingest pipeline drops it from the serving caches.  When a graph
+    maintainer is attached, ``history_key``/``graph_entry`` carry the
+    *replacement*: the key the moved history now lives under and the
+    incrementally updated ``(qrp, masks)`` cache value, which the
+    ingest pipeline pushes into compatible worker caches so the next
+    predict for this user is a cache hit instead of a rebuild.
     """
 
     user_id: int
@@ -97,6 +103,8 @@ class AppendResult:
     session_length: int  # open-session length after the append
     num_sessions: int  # completed sessions now in history
     invalidated_key: Optional[Tuple] = None
+    history_key: Optional[Tuple] = None  # set when the history moved
+    graph_entry: Optional[Tuple] = None  # fresh (qrp, masks) for history_key
 
     def as_dict(self) -> Dict:
         return {
@@ -128,6 +136,14 @@ class UserSnapshot:
     last_timestamp: float
     gap_hours: float = DEFAULT_GAP_HOURS
     max_session_visits: int = 512
+    #: The live incrementally maintained ``(qrp, masks)`` for
+    #: ``history`` when a graph maintainer is attached and the user's
+    #: graph has been materialised; versioned by ``history_version``
+    #: (the graph is a pure function of the completed sessions, which
+    #: only move when ``history_version`` does).  Safe to read
+    #: lock-free: graph states are replaced copy-on-write, never
+    #: mutated in place.
+    graph: Optional[Tuple] = None
 
     @property
     def history_key(self) -> Tuple:
@@ -158,6 +174,16 @@ class UserSnapshot:
         )
 
 
+def _graph_entry(gstate) -> Tuple:
+    """A live graph state as a serving-cache value.
+
+    Matches what the model's cache-miss path (``TSPNRA._qrp_for``)
+    builds: ``(qrp, masks)``, with masks accompanying non-empty graphs
+    only — so a pushed entry is indistinguishable from a rebuilt one.
+    """
+    return (gstate.qrp, gstate.masks if not gstate.qrp.is_empty else {})
+
+
 class _UserState:
     """Mutable per-user record; all access under the owning shard lock."""
 
@@ -168,6 +194,7 @@ class _UserState:
         "last_timestamp",
         "state_version",
         "history_version",
+        "graph",
     )
 
     def __init__(self, user_id: int, max_sessions: int):
@@ -177,6 +204,11 @@ class _UserState:
         self.last_timestamp = float("-inf")
         self.state_version = 0
         self.history_version = 0
+        # live QRPGraphState when a maintainer is attached; None until
+        # materialised (lazily for users predating the attach or
+        # restored from a snapshot — the graph is derivable from
+        # ``sessions``, so persistence never has to carry it)
+        self.graph = None
 
 
 @dataclass
@@ -196,6 +228,9 @@ class _Shard:
     forced_rolls: int = 0
     open_visits: int = 0
     held_sessions: int = 0
+    graph_updates: int = 0  # incremental session appends
+    graph_evictions: int = 0  # incremental deque evictions
+    graph_rebuilds: int = 0  # counted full builds (restore / fallback)
 
 
 class UserStateStore:
@@ -210,9 +245,70 @@ class UserStateStore:
     def __init__(self, config: Optional[StoreConfig] = None):
         self.config = config or StoreConfig()
         self._shards = [_Shard() for _ in range(self.config.num_shards)]
+        self._graphs = None  # QRPGraphMaintainer once attached
+        self._graphs_lock = threading.Lock()
 
     def _shard_of(self, user_id: int) -> _Shard:
         return self._shards[hash(user_id) % len(self._shards)]
+
+    # ------------------------------------------------------------------
+    # incremental graph maintenance
+    # ------------------------------------------------------------------
+    def attach_graph_maintainer(self, maintainer) -> bool:
+        """Adopt one incremental QR-P maintainer for the whole store.
+
+        Returns True when ``maintainer`` is (now) the store's
+        maintainer — workers sharing one tile system pass the same
+        memoised instance, so every registration after the first is a
+        no-op success.  A *different* maintainer (e.g. a second model
+        over another tile system sharing the store) returns False: the
+        store keeps maintaining graphs for the first one, and the
+        mismatched worker simply gets no pushed entries — its cache
+        misses rebuild per key, exactly as before this feature.
+        """
+        if maintainer is None:
+            return False
+        with self._graphs_lock:
+            if self._graphs is None:
+                self._graphs = maintainer
+            return self._graphs is maintainer
+
+    @property
+    def graph_maintainer(self):
+        return self._graphs
+
+    def _advance_graph(self, shard: _Shard, state: _UserState, closed, evicted):
+        """Apply one rollover's delta to the user's live graph.
+
+        Called under the shard lock, after ``closed`` has been appended
+        to (and ``evicted`` dropped from) the session deque.  Returns
+        the fresh ``(qrp, masks)`` cache entry.  Anything the
+        incremental path refuses (:class:`StaleEvictionError`) falls
+        back to an explicit full build from the authoritative deque —
+        counted in ``graph_rebuilds``, so fallback storms surface in
+        ``/stats`` instead of hiding as silent O(history) work.
+        """
+        maintainer = self._graphs
+        gstate = state.graph
+        try:
+            if gstate is None or gstate.maintainer is not maintainer:
+                # lazy materialisation: user predates the attach or was
+                # restored from a snapshot (graphs are derived, never
+                # persisted); the canonical build over the held deque
+                # is identical to what the deltas would have produced
+                gstate = maintainer.build_state(state.sessions)
+                shard.graph_rebuilds += 1
+            else:
+                if evicted is not None:
+                    maintainer.evict_session(gstate, evicted)
+                    shard.graph_evictions += 1
+                maintainer.append_session(gstate, closed)
+                shard.graph_updates += 1
+        except StaleEvictionError:
+            gstate = maintainer.build_state(state.sessions)
+            shard.graph_rebuilds += 1
+        state.graph = gstate
+        return _graph_entry(gstate)
 
     # ------------------------------------------------------------------
     # write path
@@ -232,6 +328,11 @@ class UserStateStore:
             state = shard.users.get(event.user_id)
             if state is None:
                 state = _UserState(event.user_id, config.max_sessions)
+                if self._graphs is not None:
+                    # brand-new users track incrementally from session
+                    # zero; only attach-time pre-existing / restored
+                    # users pay one lazy materialisation build
+                    state.graph = self._graphs.new_state()
                 shard.users[event.user_id] = state
             elif event.timestamp < state.last_timestamp:
                 raise ValueError(
@@ -246,20 +347,27 @@ class UserStateStore:
                 elif len(state.open_visits) >= config.max_session_visits:
                     rolled = forced = True
             state.state_version += 1
-            invalidated = None
+            invalidated = new_key = graph_entry = None
             if rolled:
                 # deque maxlen evicts the oldest completed session for
                 # us; both the append and the eviction change history,
                 # and one history_version bump covers both
-                if len(state.sessions) < config.max_sessions:
+                evicted = (
+                    state.sessions[0]
+                    if len(state.sessions) == config.max_sessions
+                    else None
+                )
+                if evicted is None:
                     shard.held_sessions += 1  # else the eviction nets out
                 shard.open_visits -= len(state.open_visits)
-                state.sessions.append(
-                    Trajectory(user_id=state.user_id, visits=state.open_visits)
-                )
+                closed = Trajectory(user_id=state.user_id, visits=state.open_visits)
+                state.sessions.append(closed)
                 state.open_visits = []
                 invalidated = stream_history_key(state.user_id, state.history_version)
                 state.history_version = state.state_version
+                new_key = stream_history_key(state.user_id, state.history_version)
+                if self._graphs is not None:
+                    graph_entry = self._advance_graph(shard, state, closed, evicted)
             state.open_visits.append(Visit(poi_id=event.poi_id, timestamp=event.timestamp))
             state.last_timestamp = event.timestamp
             shard.events += 1
@@ -276,6 +384,8 @@ class UserStateStore:
                 session_length=len(state.open_visits),
                 num_sessions=len(state.sessions),
                 invalidated_key=invalidated,
+                history_key=new_key,
+                graph_entry=graph_entry,
             )
 
     # ------------------------------------------------------------------
@@ -297,6 +407,7 @@ class UserStateStore:
                 last_timestamp=state.last_timestamp,
                 gap_hours=self.config.gap_hours,
                 max_session_visits=self.config.max_session_visits,
+                graph=None if state.graph is None else _graph_entry(state.graph),
             )
 
     def get_snapshot(self, user_id: int) -> Optional[UserSnapshot]:
@@ -400,7 +511,15 @@ class UserStateStore:
             shard.open_visits += len(state.open_visits)
             shard.held_sessions += len(state.sessions)
 
-    def restore_counters(self, events: int = 0, rollovers: int = 0, forced_rolls: int = 0) -> None:
+    def restore_counters(
+        self,
+        events: int = 0,
+        rollovers: int = 0,
+        forced_rolls: int = 0,
+        graph_updates: int = 0,
+        graph_evictions: int = 0,
+        graph_rebuilds: int = 0,
+    ) -> None:
         """Carry lifetime counters across a snapshot/recovery cycle.
 
         The totals land on shard 0 — :meth:`stats` only ever reports
@@ -412,6 +531,9 @@ class UserStateStore:
             shard.events += events
             shard.rollovers += rollovers
             shard.forced_rolls += forced_rolls
+            shard.graph_updates += graph_updates
+            shard.graph_evictions += graph_evictions
+            shard.graph_rebuilds += graph_rebuilds
 
     # ------------------------------------------------------------------
     # introspection
@@ -433,6 +555,7 @@ class UserStateStore:
         polling /stats never walks the user maps under their locks.
         """
         users = events = rollovers = forced = open_visits = held = 0
+        graph_updates = graph_evictions = graph_rebuilds = 0
         for shard in self._shards:
             with shard.lock:
                 users += len(shard.users)
@@ -441,6 +564,9 @@ class UserStateStore:
                 forced += shard.forced_rolls
                 open_visits += shard.open_visits
                 held += shard.held_sessions
+                graph_updates += shard.graph_updates
+                graph_evictions += shard.graph_evictions
+                graph_rebuilds += shard.graph_rebuilds
         return {
             "shards": len(self._shards),
             "users": users,
@@ -449,4 +575,7 @@ class UserStateStore:
             "forced_rolls": forced,
             "sessions_held": held,
             "open_visits": open_visits,
+            "graph_updates": graph_updates,
+            "graph_evictions": graph_evictions,
+            "graph_rebuilds": graph_rebuilds,
         }

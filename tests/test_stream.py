@@ -344,6 +344,27 @@ class TestStreamIngest:
         assert all(fresh_key in cache for cache in caches)
         assert ingest.invalidations == 2
 
+    def test_deque_eviction_invalidates_every_cache_exactly_once(self):
+        # max_sessions=1: every rollover both retires the old history key
+        # AND evicts the oldest session from the deque.  The eviction must
+        # not produce a second retirement — one bump, one pop per cache.
+        store = UserStateStore(StoreConfig(max_sessions=1))
+        caches = [LRUCache(8), LRUCache(8), LRUCache(8)]
+        ingest = StreamIngest(store, caches=caches)
+        ingest.ingest(ev(1, 3, 0.0))
+        ingest.ingest(ev(1, 4, 100.0))  # rolls; deque now full
+        for bump in range(1, 4):
+            stale_key = store.snapshot(1).history_key
+            for cache in caches:
+                cache.put(stale_key, "graph")
+            result = ingest.ingest(ev(1, 5 + bump, 100.0 * (bump + 1)))
+            assert result.session_rolled  # every roll past here evicts
+            assert all(stale_key not in cache for cache in caches)
+            assert ingest.invalidations == bump * len(caches)
+        stats = ingest.stats()
+        assert stats["sessions_held"] == 1  # the deque bound really fired
+        assert stats["cache_invalidations"] == 3 * len(caches)
+
     def test_counters_and_stats(self):
         ingest = StreamIngest()
         ingest.ingest_many([ev(1, 3, 0.0), ev(1, 4, 1.0), ev(1, 5, 200.0)])
