@@ -9,6 +9,12 @@ a handful of concurrent ``/predict`` and ``/recommend`` requests plus
 with well-formed JSON.  It exercises exactly the path a deployment
 would: real sockets, real concurrent connections, real micro-batches.
 
+The run serves with 100% trace sampling, then scrapes ``/metrics``,
+validates the scrape with the stdlib Prometheus parser (counters match
+the request totals the JSON ``/stats`` reports), checks ``/debug/slow``
+returns a populated span tree, and archives the raw scrape to
+``benchmarks/results/OBS_sample.prom`` for the CI artifact.
+
 Run standalone with
 ``PYTHONPATH=src python benchmarks/smoke_serve_http.py``.
 """
@@ -16,12 +22,15 @@ Run standalone with
 import json
 import threading
 import urllib.request
+from pathlib import Path
 
 from repro.experiments import get_profile, prepare, run_one
+from repro.obs import parse_prometheus
 from repro.serve import HttpFrontend, InferenceServer, ServerConfig
 
 CONCURRENT_CLIENTS = 8
 REQUESTS_PER_CLIENT = 4
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _post(url, payload):
@@ -45,7 +54,9 @@ def main() -> None:
     _, model = run_one("TSPN-RA", data, profile)
     samples = data.splits.test[:CONCURRENT_CLIENTS * REQUESTS_PER_CLIENT]
 
-    config = ServerConfig(workers=2, max_batch_size=8, max_wait_ms=4.0)
+    config = ServerConfig(
+        workers=2, max_batch_size=8, max_wait_ms=4.0, trace_sample=1.0
+    )
     with InferenceServer(model, config=config) as server:
         with HttpFrontend(server, port=0) as front:
             status, health = _get(front.url + "/healthz")
@@ -97,11 +108,48 @@ def main() -> None:
             assert stats["requests"]["completed"] == expected, stats
             assert stats["requests"]["failed"] == 0, stats
             assert stats["batches"]["count"] >= 1, stats
+            # /metrics: a valid Prometheus scrape that agrees with /stats
+            with urllib.request.urlopen(front.url + "/metrics", timeout=30) as response:
+                assert response.status == 200, response.status
+                content_type = response.headers.get("Content-Type", "")
+                assert content_type.startswith("text/plain"), content_type
+                scrape = response.read().decode("utf-8")
+            parsed = parse_prometheus(scrape)
+            assert parsed[("serve_request_requests_total", ())] == expected, parsed
+            assert parsed[("serve_request_failed_total", ())] == 0.0
+            assert parsed[("serve_traces_sampled_total", ())] >= expected
+            bucket_names = {name for name, _ in parsed if name.endswith("_bucket")}
+            assert "serve_request_batch_latency_seconds_bucket" in bucket_names
+            assert "scheduler_batch_size_bucket" in bucket_names
+
+            # /debug/slow: fully-sampled serving must leave span trees
+            status, slow = _get(front.url + "/debug/slow?n=3")
+            assert status == 200 and slow["slow"], slow
+            stage_names = set()
+
+            def walk(node):
+                stage_names.add(node["name"])
+                for child in node.get("children", ()):
+                    walk(child)
+
+            for root in slow["slow"][0]["spans"]:
+                walk(root)
+            assert {"queue.wait", "infer.batch"} <= stage_names, stage_names
+
+            RESULTS_DIR.mkdir(exist_ok=True)
+            artifact = RESULTS_DIR / "OBS_sample.prom"
+            artifact.write_text(scrape)
             print(
                 f"smoke OK: {expected} concurrent HTTP requests, "
                 f"{stats['batches']['count']} micro-batches "
                 f"(mean size {stats['batches']['mean_size']:.1f}), "
                 f"request p99 {stats['requests']['p99_ms']:.2f} ms"
+            )
+            print(
+                f"metrics OK: {len(parsed)} series scraped, "
+                f"{len(slow['slow'])} slow traces "
+                f"({len(stage_names)} distinct stages) "
+                f"[scrape archived to {artifact}]"
             )
 
 

@@ -10,6 +10,7 @@ Commands
 ``serve <preset>``         run the async HTTP serving runtime
 ``serve-bench <preset>``   cached vs uncached vs batched inference throughput
 ``stream-replay <preset>`` prequential streaming evaluation vs rebuild baseline
+``obs-report <a> <b>``     diff two /metrics scrapes into a rate/latency table
 """
 
 from __future__ import annotations
@@ -130,6 +131,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="replay precision of compiled plans "
                                    "(float64 is bit-identical to eager; "
                                    "default: float64)")
+    serve_parser.add_argument("--trace-sample", type=float, default=0.01,
+                              dest="trace_sample", metavar="RATE",
+                              help="fraction of requests to trace end-to-end "
+                                   "(0 disables tracing, 1 traces everything; "
+                                   "sampled traces feed GET /debug/slow; "
+                                   "default: 0.01)")
 
     bench_parser = sub.add_parser(
         "serve-bench", help="benchmark cached vs uncached vs batched throughput"
@@ -171,6 +178,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="write the machine-readable comparison to "
                                     "this JSON file (default: "
                                     "benchmarks/results/BENCH_stream.json)")
+
+    obs_parser = sub.add_parser(
+        "obs-report",
+        help="diff two /metrics scrapes: rates, latency percentiles, gauges",
+    )
+    obs_parser.add_argument("before", help="earlier scrape (file path, or - for stdin)")
+    obs_parser.add_argument("after", help="later scrape (file path)")
+    obs_parser.add_argument("--min-delta", type=float, default=0.0,
+                            dest="min_delta",
+                            help="hide counters whose delta is below this")
     return parser
 
 
@@ -198,6 +215,7 @@ def _server_config(args):
         max_queue=args.queue_size,
         compile=not args.no_compile,
         plan_dtype=args.plan_dtype,
+        trace_sample=args.trace_sample,
     )
 
 
@@ -227,6 +245,7 @@ def _cmd_serve_cluster(args) -> int:
             max_wait_ms=args.max_wait_ms,
             compile=not args.no_compile,
             plan_dtype=args.plan_dtype,
+            trace_sample=args.trace_sample,
         )
         router = ClusterRouter(args.checkpoint, args.persist, config=config)
     except FileNotFoundError:
@@ -245,6 +264,7 @@ def _cmd_serve_cluster(args) -> int:
               f"recovery {shard.last_recovery}")
     print(f"  POST {front.url}/checkin    POST {front.url}/predict")
     print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
+    print(f"  GET  {front.url}/metrics    GET  {front.url}/debug/slow")
     try:
         front.serve_forever()
     except KeyboardInterrupt:
@@ -433,6 +453,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  POST {front.url}/checkin    POST {front.url}/predict "
                   "{\"user_id\": ...}")
         print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
+        print(f"  GET  {front.url}/metrics    GET  {front.url}/debug/slow")
         try:
             front.serve_forever()
         except KeyboardInterrupt:
@@ -533,6 +554,33 @@ def main(argv: Optional[List[str]] = None) -> int:
              "scale": args.scale, **comparison},
             indent=2) + "\n")
         print(f"[stream replay comparison saved to {output}]")
+        return 0
+
+    if args.command == "obs-report":
+        from pathlib import Path
+
+        from .obs import diff_scrapes, format_report
+
+        def read_scrape(spec: str) -> str:
+            if spec == "-":
+                return sys.stdin.read()
+            path = Path(spec)
+            if not path.exists():
+                raise FileNotFoundError(spec)
+            return path.read_text()
+
+        try:
+            before = read_scrape(args.before)
+            after = read_scrape(args.after)
+        except FileNotFoundError as missing:
+            print(f"obs-report: scrape not found: {missing}", file=sys.stderr)
+            return 2
+        try:
+            report = diff_scrapes(before, after)
+        except ValueError as error:
+            print(f"obs-report: cannot parse scrape: {error}", file=sys.stderr)
+            return 2
+        print(format_report(report, min_delta=args.min_delta))
         return 0
 
     return 1  # unreachable: argparse enforces a command

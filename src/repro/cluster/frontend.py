@@ -2,11 +2,14 @@
 
 :class:`ClusterHttpFrontend` mirrors the single-process
 :class:`~repro.serve.server.HttpFrontend` contract — ``POST /checkin``
-/ ``/predict`` / ``/recommend``, ``GET /healthz`` / ``/stats`` — so a
-client (or the benchmark harness) moves between tiers by changing a
-URL.  Status codes survive the extra hop: a shard's verdict travels
-back as ``{"ok": False, "code": ...}`` and is re-emitted verbatim, so
-an out-of-order check-in is a 409 here exactly as it is single-process.
+/ ``/predict`` / ``/recommend``, ``GET /healthz`` / ``/stats`` /
+``/metrics`` / ``/debug/slow`` — so a client (or the benchmark
+harness) moves between tiers by changing a URL.  ``GET /metrics``
+aggregates every shard's registry over the control pipe with
+``shard=\"NN\"`` labels next to the router's own series.  Status codes
+survive the extra hop: a shard's verdict travels back as
+``{"ok": False, "code": ...}`` and is re-emitted verbatim, so an
+out-of-order check-in is a 409 here exactly as it is single-process.
 
 ``POST /reload`` is a deliberate 501: hot weight swap would need a
 new shared-memory generation plus a coordinated cut-over across
@@ -70,8 +73,25 @@ def _make_handler(router: ClusterRouter):
                 self._send_json(status, health)
             elif self.path == "/stats":
                 self._send_json(200, router.stats())
+            elif self.path == "/metrics":
+                body = router.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif self.path.startswith("/debug/slow"):
+                self._send_json(200, {"slow": router.slow_requests(self._slow_n())})
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+        def _slow_n(self) -> int:
+            query = self.path.partition("?")[2]
+            for part in query.split("&"):
+                key, _, value = part.partition("=")
+                if key == "n" and value.isdigit():
+                    return max(1, min(int(value), router.slow_ring.capacity))
+            return 10
 
         def do_POST(self):
             if self.path not in ("/predict", "/recommend", "/checkin", "/reload"):

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Optional
 
+from ..obs import MetricsRegistry
+from ..obs.tracing import span
 from ..stream.events import CheckinEvent
 from ..stream.ingest import StreamIngest
 from ..stream.state import AppendResult, StoreConfig, UserStateStore
@@ -33,7 +35,7 @@ from .snapshot import (
     prune_snapshots,
     save_snapshot,
 )
-from .wal import EventLogWriter, read_log, remove_dead_segments
+from .wal import EventLogWriter, list_segments, read_log, remove_dead_segments
 
 logger = logging.getLogger("repro.cluster.recovery")
 
@@ -137,8 +139,9 @@ class DurableIngest(StreamIngest):
         caches: Iterable[Optional[LRUCache]] = (),
         log: Optional[EventLogWriter] = None,
         snapshot_interval: int = 1000,
+        registry: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(store, caches)
+        super().__init__(store, caches, registry=registry)
         if log is None:
             raise ValueError("DurableIngest needs an EventLogWriter")
         if snapshot_interval < 1:
@@ -147,12 +150,48 @@ class DurableIngest(StreamIngest):
         self.snapshot_interval = snapshot_interval
         self.snapshots_taken = 0
         self._since_snapshot = 0
+        self._bytes_at_snapshot = log.bytes_appended
+        self._last_snapshot_time: Optional[float] = None
         self._lock = threading.RLock()
+        # durability gauges, all callback-backed: the hot path maintains
+        # nothing, a scrape reads the live writer state.  The fsync
+        # policy rides as a label on a constant info gauge.
+        self.registry.gauge(
+            "wal_last_seq", "Sequence number of the last WAL append", fn=lambda: self.log.last_seq
+        )
+        self.registry.gauge(
+            "wal_appended", "Events appended to the WAL", fn=lambda: self.log.appended
+        )
+        self.registry.gauge(
+            "wal_fsyncs", "fsync calls issued by the WAL", fn=lambda: self.log.fsyncs
+        )
+        self.registry.gauge(
+            "wal_segments", "Current on-disk WAL segment count", fn=self.segment_count
+        )
+        self.registry.gauge(
+            "wal_bytes_since_snapshot",
+            "WAL bytes written since the last snapshot",
+            fn=self.bytes_since_snapshot,
+        )
+        self.registry.gauge(
+            "wal_snapshot_age_seconds",
+            "Seconds since the last snapshot (-1 before the first)",
+            fn=self.snapshot_age_seconds,
+        )
+        self.registry.gauge(
+            "wal_snapshots_taken", "Snapshots rolled", fn=lambda: self.snapshots_taken
+        )
+        self.registry.gauge(
+            "wal_info",
+            "WAL configuration marker (value is always 1)",
+            labels={"fsync": self.log.fsync},
+        ).set(1)
 
     def ingest(self, event: CheckinEvent) -> AppendResult:
         with self._lock:
             result = super().ingest(event)  # raises on out-of-order: nothing logged
-            self.log.append(event)
+            with span("wal.append", fsync=self.log.fsync):
+                self.log.append(event)
             self._since_snapshot += 1
             return result
 
@@ -166,7 +205,24 @@ class DurableIngest(StreamIngest):
             prune_snapshots(self.log.directory, keep=2)
             self._since_snapshot = 0
             self.snapshots_taken += 1
+            self._bytes_at_snapshot = self.log.bytes_appended
+            self._last_snapshot_time = time.time()
             return path
+
+    # -- durability gauges ---------------------------------------------
+    def segment_count(self) -> int:
+        """On-disk segments right now (directory scan at read time)."""
+        return len(list_segments(self.log.directory))
+
+    def bytes_since_snapshot(self) -> int:
+        """WAL bytes appended since the last snapshot (replay debt)."""
+        return self.log.bytes_appended - self._bytes_at_snapshot
+
+    def snapshot_age_seconds(self) -> float:
+        """Seconds since the last snapshot; ``-1`` before the first."""
+        if self._last_snapshot_time is None:
+            return -1.0
+        return time.time() - self._last_snapshot_time
 
     def stats(self) -> Dict:
         out = super().stats()
@@ -178,5 +234,9 @@ class DurableIngest(StreamIngest):
             "fsyncs": self.log.fsyncs,
             "snapshots_taken": self.snapshots_taken,
             "since_snapshot": self._since_snapshot,
+            "segments": self.segment_count(),
+            "bytes_appended": self.log.bytes_appended,
+            "bytes_since_snapshot": self.bytes_since_snapshot(),
+            "snapshot_age_seconds": self.snapshot_age_seconds(),
         }
         return out

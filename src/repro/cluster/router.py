@@ -15,11 +15,18 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..obs import (
+    MetricsRegistry,
+    SlowRing,
+    maybe_trace,
+    render_prometheus,
+)
 from .ring import HashRing
 from .sharedmem import SharedWeights
 from .wal import FSYNC_POLICIES
@@ -49,12 +56,18 @@ class ClusterConfig:
     heartbeat_interval_s: float = 2.0
     heartbeat_timeout_s: float = 5.0
     auto_restart: bool = True
+    trace_sample: float = 0.0
+    slow_ring_size: int = 64
 
     def __post_init__(self):
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if self.fsync not in FSYNC_POLICIES:
             raise ValueError(f"fsync must be one of {FSYNC_POLICIES}")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
+        if self.slow_ring_size < 1:
+            raise ValueError("slow_ring_size must be >= 1")
 
 
 class ClusterRouter:
@@ -90,6 +103,30 @@ class ClusterRouter:
         self._started = False
         self._lock = threading.Lock()
         self.restarts_total = 0
+        # Router-side observability: its own registry (shard registries
+        # are scraped over the control pipe at /metrics time, never
+        # mirrored here) plus a worst-N ring of sampled routed requests.
+        self.registry = MetricsRegistry()
+        self.slow_ring = SlowRing(self.config.slow_ring_size)
+        self._routed = self.registry.counter(
+            "router_requests", "Routed operations by op",
+        )
+        self._route_errors = self.registry.counter(
+            "router_request_errors", "Routed operations whose reply was not ok",
+        )
+        self._traces_sampled = self.registry.counter(
+            "router_traces_sampled", "Routed requests that carried a trace",
+        )
+        self._route_seconds = self.registry.histogram(
+            "router_request_seconds", "Round-trip latency through the shard pipe",
+        )
+        self.registry.gauge(
+            "cluster_shards", "Configured shard count", fn=lambda: len(self.shards),
+        )
+        self.registry.gauge(
+            "cluster_restarts", "Shard restarts since router start",
+            fn=lambda: self.restarts_total,
+        )
 
     def _spec(self, index: int) -> WorkerSpec:
         c = self.config
@@ -111,6 +148,7 @@ class ClusterRouter:
             request_timeout_s=c.request_timeout_s,
             compile=c.compile,
             plan_dtype=c.plan_dtype,
+            trace_sample=c.trace_sample,
         )
 
     # ------------------------------------------------------------------
@@ -208,6 +246,41 @@ class ClusterRouter:
     def shard_for(self, user_id: int) -> ShardHandle:
         return self.shards[self.ring.shard_for(user_id)]
 
+    def _route(self, shard: ShardHandle, payload: Dict, timeout: float) -> Dict:
+        """One routed round-trip: metrics always, tracing when sampled.
+
+        A sampled request opens a ``route.<op>`` span, ships the trace
+        carrier in the payload, and grafts the shard's exported spans
+        back under that span (right-aligned at reply arrival — the two
+        processes' monotonic clocks share no epoch, so durations and
+        in-trace order travel, absolute times do not).  The finished
+        trace is offered to the router's slow ring.
+        """
+        trace = maybe_trace(self.config.trace_sample)
+        self._routed.inc()
+        start = time.monotonic()
+        try:
+            if trace is None:
+                reply = shard.request(payload, timeout=timeout)
+            else:
+                index = trace.begin(
+                    f"route.{payload.get('op')}", shard=shard.spec.shard_index
+                )
+                reply = shard.request(
+                    dict(payload, trace=trace.carrier()), timeout=timeout
+                )
+                spans = reply.pop("spans", None) if isinstance(reply, dict) else None
+                if spans:
+                    trace.graft(spans, parent=index)
+                trace.finish(index)
+                self._traces_sampled.inc()
+                self.slow_ring.offer(trace)
+        finally:
+            self._route_seconds.observe(time.monotonic() - start)
+        if not reply.get("ok"):
+            self._route_errors.inc()
+        return reply
+
     def checkin(self, payload: Dict) -> Dict:
         """Route one check-in body; the shard's reply comes back as-is.
 
@@ -219,13 +292,15 @@ class ClusterRouter:
         user_id = payload.get("user_id")
         if isinstance(user_id, bool) or not isinstance(user_id, int):
             return {"ok": False, "code": 400, "error": "user_id must be an integer"}
-        return self.shard_for(user_id).request(
+        return self._route(
+            self.shard_for(user_id),
             {"op": "checkin", "event": payload},
             timeout=self.config.request_timeout_s,
         )
 
     def predict_user(self, user_id: int, k: int = 10) -> Dict:
-        return self.shard_for(user_id).request(
+        return self._route(
+            self.shard_for(user_id),
             {"op": "predict", "user_id": user_id, "k": k},
             timeout=self.config.request_timeout_s,
         )
@@ -243,7 +318,8 @@ class ClusterRouter:
             if isinstance(user_id, int) and not isinstance(user_id, bool)
             else self.shards[0]
         )
-        return shard.request(
+        return self._route(
+            shard,
             {"op": "predict_raw", "payload": payload, "k": k},
             timeout=self.config.request_timeout_s,
         )
@@ -267,24 +343,46 @@ class ClusterRouter:
                 raise ValueError("every event needs an integer user_id")
             by_shard.setdefault(self.ring.shard_for(user_id), []).append(payload)
 
+        # One trace covers the whole fan-out: each shard's sub-tape gets
+        # its own route.stream span (opened from the pool thread — Trace
+        # appends are thread-safe) with the shard's spans grafted under it.
+        trace = maybe_trace(self.config.trace_sample)
+
         def one_shard(index: int, batch: List[Dict]) -> Dict:
+            request = {
+                "op": "stream",
+                "events": batch,
+                "predict_every": predict_every,
+                "k": k,
+            }
+            span_index = None
+            if trace is not None:
+                span_index = trace.begin("route.stream", shard=index, events=len(batch))
+                request["trace"] = trace.carrier()
             reply = self.shards[index].request(
-                {
-                    "op": "stream",
-                    "events": batch,
-                    "predict_every": predict_every,
-                    "k": k,
-                },
-                timeout=max(self.config.request_timeout_s, 120.0),
+                request, timeout=max(self.config.request_timeout_s, 120.0)
             )
+            if trace is not None:
+                spans = reply.pop("spans", None) if isinstance(reply, dict) else None
+                if spans:
+                    trace.graft(spans, parent=span_index)
+                trace.finish(span_index)
             if not reply.get("ok"):
                 raise ShardError(f"shard {index} stream failed: {reply.get('error')}")
             return reply
 
-        with ThreadPoolExecutor(max_workers=len(by_shard) or 1) as pool:
-            replies = list(
-                pool.map(lambda item: one_shard(*item), sorted(by_shard.items()))
-            )
+        self._routed.inc()
+        start = time.monotonic()
+        try:
+            with ThreadPoolExecutor(max_workers=len(by_shard) or 1) as pool:
+                replies = list(
+                    pool.map(lambda item: one_shard(*item), sorted(by_shard.items()))
+                )
+        finally:
+            self._route_seconds.observe(time.monotonic() - start)
+            if trace is not None:
+                self._traces_sampled.inc()
+                self.slow_ring.offer(trace)
         acks = 0
         rejected = 0
         predictions = 0
@@ -333,6 +431,44 @@ class ClusterRouter:
             ("degraded" if healthy else "down"),
             "shards": shards,
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text for the whole cluster (``GET /metrics``).
+
+        The router's own instruments expose unlabelled; every shard's
+        registry snapshot comes over the control pipe and is stamped
+        with a ``shard`` label, so one scrape shows the ring side by
+        side.  A shard that cannot answer contributes only
+        ``repro_shard_up{shard="NN"} 0`` — a scrape never fails because
+        a shard is mid-restart.
+        """
+        snapshots: List[Dict] = list(self.registry.snapshot())
+        for shard in self.shards:
+            label = f"{shard.spec.shard_index:02d}"
+            up = 0.0
+            try:
+                reply = shard.control_metrics(timeout=self.config.heartbeat_timeout_s)
+                if reply.get("ok"):
+                    up = 1.0
+                    for snap in reply.get("metrics", []):
+                        snap["labels"] = {**snap.get("labels", {}), "shard": label}
+                        snapshots.append(snap)
+            except ShardError:
+                pass
+            snapshots.append(
+                {
+                    "name": "repro_shard_up",
+                    "kind": "gauge",
+                    "help": "1 if the shard answered the metrics scrape",
+                    "labels": {"shard": label},
+                    "value": up,
+                }
+            )
+        return render_prometheus(snapshots)
+
+    def slow_requests(self, n: int = 10) -> List[Dict]:
+        """The router's worst sampled routed requests (``/debug/slow``)."""
+        return self.slow_ring.slow(n)
 
     def stats(self) -> Dict:
         """Cluster-wide roll-up plus per-shard detail (``GET /stats``)."""
@@ -383,5 +519,10 @@ class ClusterRouter:
             "weights": {
                 "shm_name": self.weights.manifest["shm_name"],
                 "bytes": self.weights.manifest["size"],
+            },
+            "tracing": {
+                "sample_rate": self.config.trace_sample,
+                "sampled": int(self._traces_sampled.value),
+                "slow_ring": len(self.slow_ring),
             },
         }

@@ -124,6 +124,7 @@ class EventLogWriter:
         self.appended = 0
         self.rotations = 0
         self.fsyncs = 0
+        self.bytes_appended = 0  # lifetime bytes, across rotations
 
     @property
     def last_seq(self) -> int:
@@ -173,6 +174,7 @@ class EventLogWriter:
             self._segment_records += 1
             self._segment_bytes += len(data)
             self.appended += 1
+            self.bytes_appended += len(data)
             return seq
 
     def rotate(self) -> None:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..obs.tracing import Trace, activate, span
 from ..stream.events import event_from_json
 from ..stream.state import StoreConfig
 from .recovery import DurableIngest, recover_store
@@ -82,6 +83,7 @@ class WorkerSpec:
     request_timeout_s: float = 30.0
     compile: bool = True
     plan_dtype: str = "float64"
+    trace_sample: float = 0.0
 
     def store_config(self) -> StoreConfig:
         return StoreConfig(
@@ -134,6 +136,7 @@ class _WorkerRuntime:
                 request_timeout_s=spec.request_timeout_s,
                 compile=spec.compile,
                 plan_dtype=spec.plan_dtype,
+                trace_sample=spec.trace_sample,
             ),
             dataset=dataset,
             ingest=self.ingest,
@@ -158,8 +161,20 @@ class _WorkerRuntime:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             return _error(400, ValueError(f"unknown op {op!r}"))
+        # Cross-process tracing: a sampled router request ships a
+        # carrier dict; the shard joins the trace, records its spans
+        # (op envelope, scheduler queue wait, model stages, WAL append)
+        # and returns them in the reply for the router to graft under
+        # its routing span.  Unsampled requests skip all of it.
+        child = Trace.from_carrier(request.get("trace"))
         try:
-            return handler(request)
+            if child is None:
+                return handler(request)
+            with activate(child):
+                with span(f"shard.{op}", shard=self.spec.shard_index):
+                    reply = handler(request)
+            reply["spans"] = child.export_spans()
+            return reply
         except Exception as error:  # a bug in the op, not the transport
             logger.exception("shard %d op %r failed", self.spec.shard_index, op)
             return _error(500, error)
@@ -287,6 +302,26 @@ class _WorkerRuntime:
         stats["shard"] = self.spec.shard_index
         stats["recovery"] = self.recovery.as_dict()
         return {"ok": True, "stats": stats}
+
+    def _op_metrics(self, request: Dict) -> Dict:
+        """Registry snapshot for the router's /metrics aggregation.
+
+        JSON-safe instrument dumps travel the control pipe; the router
+        stamps each with a ``shard`` label before rendering, so one
+        scrape shows the whole ring side by side."""
+        return {
+            "ok": True,
+            "shard": self.spec.shard_index,
+            "metrics": self.server.registry.snapshot(),
+        }
+
+    def _op_slow(self, request: Dict) -> Dict:
+        """The shard's own slow-trace exemplars (local sampling only)."""
+        return {
+            "ok": True,
+            "shard": self.spec.shard_index,
+            "slow": self.server.slow_requests(request.get("n", 10)),
+        }
 
     def _op_ping(self, request: Dict) -> Dict:
         return {"ok": True, "pong": request.get("nonce")}
@@ -492,6 +527,14 @@ class ShardHandle:
 
     def control_stats(self, timeout: float = 30.0) -> Dict:
         return self._roundtrip("control", {"op": "stats"}, timeout)
+
+    def control_metrics(self, timeout: float = 30.0) -> Dict:
+        """Registry snapshot over the control pipe (/metrics aggregation)."""
+        return self._roundtrip("control", {"op": "metrics"}, timeout)
+
+    def control_slow(self, n: int = 10, timeout: float = 30.0) -> Dict:
+        """The shard's slow-trace exemplars over the control pipe."""
+        return self._roundtrip("control", {"op": "slow", "n": n}, timeout)
 
     def shutdown(self, timeout: float = 30.0) -> None:
         """Graceful stop: drain, final snapshot, exit."""

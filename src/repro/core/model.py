@@ -29,6 +29,7 @@ from ..autograd.plan import Plan
 from ..data.trajectory import PredictionSample
 from ..graphs import QRPGraph, strip_edges
 from ..nn import Module, causal_mask, key_padding_mask
+from ..obs.tracing import span
 from ..serve.protocol import PredictorBase, PredictorResult, target_poi_of
 from ..utils.cache import LRUCache
 from ..utils.rng import default_rng, derive
@@ -657,22 +658,24 @@ class TSPNRA(Module, PredictorBase):
         with no_grad():
             if tile_embeddings is None or poi_embeddings is None:
                 tile_embeddings, poi_embeddings = self.compute_embeddings()
-            tile_outputs, poi_outputs = self.encode_batch(
-                samples, tile_embeddings, poi_embeddings
-            )
-            leaf_embeddings = tile_embeddings.data[self._leaf_array]
-            ranked_tiles_all = rank_tiles_batch(
-                tile_outputs.data, leaf_embeddings, self._leaf_ids
-            )
-            if self.config.use_two_step:
-                candidate_lists = [
-                    self._candidates_for(ranked, k) for ranked in ranked_tiles_all
-                ]
-            else:
-                candidate_lists = [list(range(self.num_pois))] * len(samples)
-            ranked_pois_all = rank_pois_batch(
-                poi_outputs.data, poi_embeddings.data, candidate_lists
-            )
+            with span("encode", batch_size=len(samples)):
+                tile_outputs, poi_outputs = self.encode_batch(
+                    samples, tile_embeddings, poi_embeddings
+                )
+            with span("rank.two_step", two_step=self.config.use_two_step):
+                leaf_embeddings = tile_embeddings.data[self._leaf_array]
+                ranked_tiles_all = rank_tiles_batch(
+                    tile_outputs.data, leaf_embeddings, self._leaf_ids
+                )
+                if self.config.use_two_step:
+                    candidate_lists = [
+                        self._candidates_for(ranked, k) for ranked in ranked_tiles_all
+                    ]
+                else:
+                    candidate_lists = [list(range(self.num_pois))] * len(samples)
+                ranked_pois_all = rank_pois_batch(
+                    poi_outputs.data, poi_embeddings.data, candidate_lists
+                )
         return self._results(samples, ranked_tiles_all, ranked_pois_all)
 
     def _spatial_code_table(self, dtype) -> np.ndarray:
@@ -1019,27 +1022,31 @@ class TSPNRA(Module, PredictorBase):
             return []
         k = k if k is not None else self.config.top_k
         with no_grad():
-            feeds = self._encode_plan_feeds(
-                samples, entry.bucket, entry.dtype, tile_embeddings, poi_embeddings
-            )
-            feeds["tile_table"] = entry.tile_table
-            feeds["poi_table"] = entry.poi_table
-            tile_out, poi_out = entry.plan.run(feeds)
-            batch = len(samples)
-            tile_out = np.asarray(tile_out)[:batch]
-            poi_out = np.asarray(poi_out)[:batch]
-            ranked_tiles_all = rank_tiles_batch(
-                tile_out, entry.leaf_norm, self._leaf_ids, candidates_normalized=True
-            )
-            if self.config.use_two_step:
-                candidate_lists = [
-                    self._candidates_for(ranked, k) for ranked in ranked_tiles_all
-                ]
-            else:
-                candidate_lists = [list(range(self.num_pois))] * batch
-            ranked_pois_all = rank_pois_batch(
-                poi_out, entry.poi_norm, candidate_lists, candidates_normalized=True
-            )
+            with span(
+                "plan.replay", batch_size=len(samples), dtype=str(entry.dtype)
+            ):
+                feeds = self._encode_plan_feeds(
+                    samples, entry.bucket, entry.dtype, tile_embeddings, poi_embeddings
+                )
+                feeds["tile_table"] = entry.tile_table
+                feeds["poi_table"] = entry.poi_table
+                tile_out, poi_out = entry.plan.run(feeds)
+            with span("rank.two_step", two_step=self.config.use_two_step):
+                batch = len(samples)
+                tile_out = np.asarray(tile_out)[:batch]
+                poi_out = np.asarray(poi_out)[:batch]
+                ranked_tiles_all = rank_tiles_batch(
+                    tile_out, entry.leaf_norm, self._leaf_ids, candidates_normalized=True
+                )
+                if self.config.use_two_step:
+                    candidate_lists = [
+                        self._candidates_for(ranked, k) for ranked in ranked_tiles_all
+                    ]
+                else:
+                    candidate_lists = [list(range(self.num_pois))] * batch
+                ranked_pois_all = rank_pois_batch(
+                    poi_out, entry.poi_norm, candidate_lists, candidates_normalized=True
+                )
         return self._results(samples, ranked_tiles_all, ranked_pois_all)
 
     def score_candidates(

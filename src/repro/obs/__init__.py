@@ -1,0 +1,58 @@
+"""repro.obs — zero-dependency observability for the serving stack.
+
+Three layers, importable with no dependency on the rest of :mod:`repro`
+(so :mod:`repro.core.model` can open spans without an import cycle):
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket mergeable
+  histograms in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracing` — trace/span request timelines with
+  thread-local, future-hand-off, and cross-process (carrier dict)
+  propagation, plus the :class:`SlowRing` behind ``/debug/slow``;
+* :mod:`repro.obs.expo` — Prometheus text rendering/parsing and the
+  scrape differ behind ``repro obs-report``.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_histogram_snapshots,
+    snapshot_percentile,
+)
+from .tracing import (
+    SlowRing,
+    Span,
+    Trace,
+    activate,
+    current_trace,
+    maybe_trace,
+    span,
+    span_creation_count,
+)
+from .expo import diff_scrapes, format_report, parse_prometheus, render_prometheus
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "merge_histogram_snapshots",
+    "snapshot_percentile",
+    "SlowRing",
+    "Span",
+    "Trace",
+    "activate",
+    "current_trace",
+    "maybe_trace",
+    "span",
+    "span_creation_count",
+    "diff_scrapes",
+    "format_report",
+    "parse_prometheus",
+    "render_prometheus",
+]

@@ -28,6 +28,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..autograd import TraceError
+from ..obs import MetricsRegistry
+from ..obs.tracing import current_trace
 
 __all__ = ["PlanCache", "supports_plans"]
 
@@ -53,7 +55,12 @@ class PlanCache:
     return — shape bucketing keeps the working set tiny in practice).
     """
 
-    def __init__(self, maxsize: int = 32, dtype="float64"):
+    def __init__(
+        self,
+        maxsize: int = 32,
+        dtype="float64",
+        registry: Optional[MetricsRegistry] = None,
+    ):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
@@ -61,10 +68,55 @@ class PlanCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict" = OrderedDict()
         self._version: Optional[int] = None
-        self.traces = 0
-        self.hits = 0
-        self.misses = 0
-        self.fallbacks = 0
+        # counters are registry instruments (private registry when the
+        # cache stands alone), exposed as read-only properties below so
+        # the long-standing `cache.hits` surface keeps working
+        self.registry = registry if registry is not None else MetricsRegistry()
+        labels = {"dtype": str(self.dtype)}
+        self._traces = self.registry.counter(
+            "plan_cache_traces", "Plans traced (cold buckets)", labels
+        )
+        self._hits = self.registry.counter(
+            "plan_cache_hits", "Plan replays served from cache", labels
+        )
+        self._misses = self.registry.counter(
+            "plan_cache_misses", "Plan lookups that missed", labels
+        )
+        self._fallbacks = self.registry.counter(
+            "plan_cache_fallbacks", "Batches served eagerly (untraceable bucket)", labels
+        )
+        self.registry.gauge(
+            "plan_cache_plans", "Live compiled plans", labels, fn=self.__len__
+        )
+
+    # -- historical counter surface ------------------------------------
+    @property
+    def traces(self) -> int:
+        return int(self._traces.value)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def fallbacks(self) -> int:
+        return int(self._fallbacks.value)
+
+    @staticmethod
+    def _tag_trace(outcome: str) -> None:
+        """Stamp the plan outcome onto the active trace's open span.
+
+        During a traced request the worker's inference span is open
+        when the lookup runs, so ``plan=hit|miss|trace|fallback`` lands
+        exactly where a reader of ``/debug/slow`` looks to explain an
+        encode that took a retrace."""
+        trace = current_trace()
+        if trace is not None:
+            trace.tag_current(plan=outcome)
 
     # ------------------------------------------------------------------
     # lookup / build
@@ -108,11 +160,14 @@ class PlanCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 if cached is _EAGER:
-                    self.fallbacks += 1
+                    self._fallbacks.inc()
+                    self._tag_trace("fallback")
                     return None
-                self.hits += 1
+                self._hits.inc()
+                self._tag_trace("hit")
                 return cached
-            self.misses += 1
+            self._misses.inc()
+        self._tag_trace("miss")
         try:
             entry = model.build_encode_plan(
                 samples, bucket, self.dtype, tile_embeddings, poi_embeddings
@@ -121,7 +176,8 @@ class PlanCache:
             with self._lock:
                 if version == self._version:
                     self._put(key, _EAGER)
-                self.fallbacks += 1
+            self._fallbacks.inc()
+            self._tag_trace("fallback")
             return None
         # A reload landing during the build mixes the caller's tables
         # with post-reload live parameters: usable for this one batch
@@ -131,7 +187,8 @@ class PlanCache:
         with self._lock:
             if fresh and version == self._version:
                 self._put(key, entry)
-            self.traces += 1
+        self._traces.inc()
+        self._tag_trace("trace")
         return entry
 
     def _put(self, key, value) -> None:

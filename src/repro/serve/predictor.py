@@ -19,24 +19,19 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autograd import no_grad
 from ..data.trajectory import PredictionSample, Trajectory, Visit
+from ..obs import MetricsRegistry
 from ..utils.cache import LRUCache
 from .checkpoint import load_checkpoint
 from .plans import PlanCache, supports_plans
 from .protocol import PredictorResult, serve_history_key
 
 LATENCY_PERCENTILES = (50, 95, 99)
-
-# Per-batch latency window: percentiles are computed over the most
-# recent batches only, so a long-lived Predictor neither grows without
-# bound nor pays O(history) per stats read.
-LATENCY_WINDOW = 4096
 
 
 def interpolated_percentile(sorted_values: Sequence[float], p: float) -> float:
@@ -61,77 +56,121 @@ def interpolated_percentile(sorted_values: Sequence[float], p: float) -> float:
     return float(sorted_values[lo] + (sorted_values[lo + 1] - sorted_values[lo]) * frac)
 
 
-@dataclass
 class ServeStats:
-    """Rolling counters for one predictor instance.
+    """Rolling counters for one predictor instance, registry-backed.
 
     Thread-safe: the serving worker pool records batches from several
-    threads into one roll-up, and `/stats` reads concurrently.
+    threads into one roll-up, and `/stats` reads concurrently.  Every
+    quantity lives in a :class:`~repro.obs.MetricsRegistry` instrument
+    — the counters are registry counters and the per-batch latency
+    distribution is a fixed-bucket :class:`~repro.obs.Histogram`
+    (O(buckets) memory under sustained load, unlike the unbounded list
+    it replaced, and mergeable across workers/shards).  The historical
+    attribute surface (``stats.requests`` …) is preserved as read-only
+    properties over the instruments.
+
+    ``namespace`` and ``labels`` keep instruments distinct when several
+    ServeStats share one registry (per-worker ``labels={"worker": i}``,
+    or the server's request-level roll-up under ``serve_request``).
     """
 
-    requests: int = 0
-    batches: int = 0
-    total_seconds: float = 0.0
-    embedding_refreshes: int = 0
-    embedding_cache_hits: int = 0
-    batch_seconds: List[float] = field(default_factory=list)
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        namespace: str = "serve",
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            f"{namespace}_requests", "Requests served", labels
+        )
+        self._batches = self.registry.counter(
+            f"{namespace}_batches", "Inference batches executed", labels
+        )
+        self._seconds = self.registry.counter(
+            f"{namespace}_seconds", "Cumulative batch inference seconds", labels
+        )
+        self._embedding_refreshes = self.registry.counter(
+            f"{namespace}_embedding_refreshes", "Shared-embedding recomputes", labels
+        )
+        self._embedding_cache_hits = self.registry.counter(
+            f"{namespace}_embedding_cache_hits", "Shared-embedding cache hits", labels
+        )
+        self.latency = self.registry.histogram(
+            f"{namespace}_batch_latency_seconds", "Per-batch latency", labels
+        )
 
-    def __post_init__(self):
-        # not a dataclass field: locks are neither comparable nor
-        # serialisable, and as_dict() must not carry it
-        self._lock = threading.Lock()
+    # -- historical attribute surface ----------------------------------
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def total_seconds(self) -> float:
+        return self._seconds.value
+
+    @property
+    def embedding_refreshes(self) -> int:
+        return int(self._embedding_refreshes.value)
+
+    @property
+    def embedding_cache_hits(self) -> int:
+        return int(self._embedding_cache_hits.value)
 
     @property
     def mean_latency_ms(self) -> float:
-        return 1000.0 * self.total_seconds / self.requests if self.requests else 0.0
+        requests = self.requests
+        return 1000.0 * self.total_seconds / requests if requests else 0.0
 
     @property
     def throughput(self) -> float:
         """Requests served per second of inference time."""
-        return self.requests / self.total_seconds if self.total_seconds > 0 else 0.0
+        total = self.total_seconds
+        return self.requests / total if total > 0 else 0.0
 
+    # -- recording -----------------------------------------------------
     def record_batch(self, seconds: float, size: int) -> None:
-        with self._lock:
-            self.total_seconds += seconds
-            self.requests += size
-            self.batches += 1
-            self.batch_seconds.append(seconds)
-            if len(self.batch_seconds) > 2 * LATENCY_WINDOW:  # amortised trim
-                del self.batch_seconds[:-LATENCY_WINDOW]
+        self._seconds.inc(seconds)
+        self._requests.inc(size)
+        self._batches.inc()
+        self.latency.observe(seconds)
 
-    def recent_batch_seconds(self) -> List[float]:
-        """Snapshot of the recent latency window (thread-safe copy)."""
-        with self._lock:
-            return self.batch_seconds[-LATENCY_WINDOW:]
+    def note_embedding_refresh(self) -> None:
+        self._embedding_refreshes.inc()
 
+    def note_embedding_cache_hit(self) -> None:
+        self._embedding_cache_hits.inc()
+
+    # -- reading -------------------------------------------------------
     def latency_percentiles(
         self, percentiles: Sequence[int] = LATENCY_PERCENTILES
     ) -> Dict[str, float]:
-        """Per-batch latency percentiles in ms over the recent window,
-        linearly interpolated between order statistics."""
-        window = self.recent_batch_seconds()
-        if not window:
-            return {f"p{p}_ms": 0.0 for p in percentiles}
-        millis = sorted(1000.0 * s for s in window)
-        return {f"p{p}_ms": interpolated_percentile(millis, p) for p in percentiles}
+        """Per-batch latency percentiles in ms from the histogram.
+
+        Bucket-resolution with within-bucket linear interpolation,
+        clamped to the observed min/max — so the all-batches-equal case
+        reports the exact latency, and any case is within one bucket
+        width of the order-statistic answer.
+        """
+        seconds = self.latency.percentiles(percentiles)
+        return {f"{k}_ms": 1000.0 * v for k, v in seconds.items()}
 
     def as_dict(self) -> Dict[str, float]:
-        with self._lock:  # one consistent snapshot across all counters
-            out: Dict[str, float] = {
-                "requests": self.requests,
-                "batches": self.batches,
-                "total_seconds": self.total_seconds,
-                "embedding_refreshes": self.embedding_refreshes,
-                "embedding_cache_hits": self.embedding_cache_hits,
-            }
-            window = self.batch_seconds[-LATENCY_WINDOW:]
+        out: Dict[str, float] = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "total_seconds": self.total_seconds,
+            "embedding_refreshes": self.embedding_refreshes,
+            "embedding_cache_hits": self.embedding_cache_hits,
+        }
         requests, total = out["requests"], out["total_seconds"]
         out["mean_latency_ms"] = 1000.0 * total / requests if requests else 0.0
         out["throughput"] = requests / total if total > 0 else 0.0
-        millis = sorted(1000.0 * s for s in window)
-        out.update(
-            {f"p{p}_ms": interpolated_percentile(millis, p) for p in LATENCY_PERCENTILES}
-        )
+        out.update(self.latency_percentiles())
         return out
 
 
@@ -159,10 +198,12 @@ class Predictor:
         compile: bool = True,
         plan_dtype="float64",
         plan_cache: Optional[PlanCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        stats_labels: Optional[Dict[str, str]] = None,
     ):
         self.model = model
         self.dataset = None  # set by from_checkpoint
-        self.stats = ServeStats()
+        self.stats = ServeStats(registry=registry, labels=stats_labels)
         self._shared: Optional[Tuple[Any, ...]] = None
         self._shared_version: Optional[int] = None
         self._shared_lock = threading.Lock()
@@ -224,9 +265,9 @@ class Predictor:
             if self._shared is None or version != self._shared_version:
                 self._shared = self.model.compute_embeddings()
                 self._shared_version = version
-                self.stats.embedding_refreshes += 1
+                self.stats.note_embedding_refresh()
             else:
-                self.stats.embedding_cache_hits += 1
+                self.stats.note_embedding_cache_hit()
             return version, self._shared
 
     def invalidate(self) -> None:

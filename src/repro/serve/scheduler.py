@@ -28,6 +28,9 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
+from ..obs import MetricsRegistry
+from ..obs.tracing import Trace, current_trace
+
 
 class QueueFullError(RuntimeError):
     """Backpressure: the bounded request queue is at capacity."""
@@ -44,12 +47,17 @@ class ServeRequest:
     ``future`` resolves to the request's :class:`PredictorResult` (or
     the exception its batch raised); ``enqueued_at`` anchors both the
     flush deadline of the batch it joins and the end-to-end request
-    latency the server reports.
+    latency the server reports.  ``trace`` carries the submitting
+    thread's active trace across the future hand-off — the worker
+    thread that executes the batch records queue-wait and inference
+    spans into it (:func:`~repro.obs.current_trace` is thread-local
+    and does not survive the queue on its own).
     """
 
     sample: object
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    trace: Optional[Trace] = None
 
 
 class MicroBatchScheduler:
@@ -66,6 +74,7 @@ class MicroBatchScheduler:
         max_batch_size: int = 16,
         max_wait_ms: float = 5.0,
         max_queue: int = 256,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -80,12 +89,54 @@ class MicroBatchScheduler:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
-        # counters (guarded by the lock)
-        self.submitted = 0
-        self.rejected = 0
-        self.dispatched = 0
-        self.batches = 0
-        self.cancelled = 0
+        # counters live in the metrics registry (a private one for a
+        # standalone scheduler; the server's when embedded), read back
+        # through the properties below
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.registry.counter(
+            "scheduler_submitted", "Requests admitted to the queue"
+        )
+        self._rejected = self.registry.counter(
+            "scheduler_rejected", "Requests rejected by backpressure"
+        )
+        self._dispatched = self.registry.counter(
+            "scheduler_dispatched", "Requests handed to workers in batches"
+        )
+        self._batches = self.registry.counter(
+            "scheduler_batches", "Micro-batches formed"
+        )
+        self._cancelled = self.registry.counter(
+            "scheduler_cancelled", "Requests dropped after client cancellation"
+        )
+        self._batch_size = self.registry.histogram(
+            "scheduler_batch_size",
+            "Formed micro-batch sizes",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
+        self.registry.gauge(
+            "scheduler_queue_depth", "Requests currently queued", fn=self.depth
+        )
+
+    # -- historical counter surface ------------------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def dispatched(self) -> int:
+        return int(self._dispatched.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._cancelled.value)
 
     # ------------------------------------------------------------------
     # producer side
@@ -96,17 +147,17 @@ class MicroBatchScheduler:
         Raises :class:`QueueFullError` when the queue is at capacity
         and :class:`SchedulerClosedError` after :meth:`close`.
         """
-        request = ServeRequest(sample=sample)
+        request = ServeRequest(sample=sample, trace=current_trace())
         with self._not_empty:
             if self._closed:
                 raise SchedulerClosedError("scheduler is closed to new requests")
             if len(self._queue) >= self.max_queue:
-                self.rejected += 1
+                self._rejected.inc()
                 raise QueueFullError(
                     f"request queue full ({len(self._queue)}/{self.max_queue})"
                 )
             self._queue.append(request)
-            self.submitted += 1
+            self._submitted.inc()
             self._not_empty.notify()
         return request.future
 
@@ -162,8 +213,9 @@ class MicroBatchScheduler:
                 if remaining <= 0:
                     break
                 self._not_empty.wait(remaining)
-            self.dispatched += len(batch)
-            self.batches += 1
+            self._dispatched.inc(len(batch))
+            self._batches.inc()
+            self._batch_size.observe(len(batch))
             return batch
 
     def _pop_live_locked(self) -> Optional[ServeRequest]:
@@ -176,7 +228,7 @@ class MicroBatchScheduler:
             request = self._queue.popleft()
             if not request.future.cancelled():
                 return request
-            self.cancelled += 1
+            self._cancelled.inc()
         return None
 
     # ------------------------------------------------------------------
@@ -204,17 +256,19 @@ class MicroBatchScheduler:
                 )
 
     def stats(self) -> dict:
-        """Queue counters (one consistent snapshot)."""
+        """Queue counters, read from the registry instruments."""
         with self._lock:
-            return {
-                "queue_depth": len(self._queue),
-                "max_queue": self.max_queue,
-                "max_batch_size": self.max_batch_size,
-                "max_wait_ms": self.max_wait_ms,
-                "submitted": self.submitted,
-                "rejected": self.rejected,
-                "dispatched": self.dispatched,
-                "cancelled": self.cancelled,
-                "batches_formed": self.batches,
-                "closed": self._closed,
-            }
+            depth = len(self._queue)
+            closed = self._closed
+        return {
+            "queue_depth": depth,
+            "max_queue": self.max_queue,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "cancelled": self.cancelled,
+            "batches_formed": self.batches,
+            "closed": closed,
+        }

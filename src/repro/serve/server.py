@@ -57,17 +57,23 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..obs import (
+    MetricsRegistry,
+    SlowRing,
+    Trace,
+    activate,
+    maybe_trace,
+    merge_histogram_snapshots,
+    render_prometheus,
+    snapshot_percentile,
+    span,
+)
 from ..stream.events import CheckinEvent, event_from_json
 from ..stream.ingest import StreamIngest
 from ..stream.state import AppendResult, UserStateStore
 from .checkpoint import load_checkpoint, read_checkpoint
 from .plans import PlanCache, supports_plans
-from .predictor import (
-    LATENCY_PERCENTILES,
-    Predictor,
-    ServeStats,
-    interpolated_percentile,
-)
+from .predictor import LATENCY_PERCENTILES, Predictor, ServeStats
 from .protocol import PredictorResult, result_to_json, sample_from_json
 from .scheduler import MicroBatchScheduler, QueueFullError, SchedulerClosedError
 
@@ -91,6 +97,12 @@ class ServerConfig:
     keeps ranked lists bit-identical to eager) and ``plan_cache_size``
     bounds the number of live plans.  ``compile=False`` (CLI:
     ``repro serve --no-compile``) is the pure-eager escape hatch.
+
+    ``trace_sample`` is the request-tracing sampling rate (0..1).  The
+    default 0 keeps the hot path allocation-free — no Trace or Span
+    objects exist anywhere; 0.01 (the CLI serving default) traces 1%
+    of requests into the ``/debug/slow`` ring of ``slow_ring_size``
+    worst-recent exemplars.
     """
 
     workers: int = 2
@@ -102,10 +114,16 @@ class ServerConfig:
     compile: bool = True
     plan_dtype: str = "float64"
     plan_cache_size: int = 32
+    trace_sample: float = 0.0
+    slow_ring_size: int = 64
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be within [0, 1]")
+        if self.slow_ring_size < 1:
+            raise ValueError("slow_ring_size must be >= 1")
 
 
 class _PooledPredictor(Predictor):
@@ -121,12 +139,17 @@ class _PooledPredictor(Predictor):
     per-thread buffers.
     """
 
-    def __init__(self, model, graph_cache_size, store, plan_cache=None):
+    def __init__(
+        self, model, graph_cache_size, store, plan_cache=None,
+        registry=None, stats_labels=None,
+    ):
         super().__init__(
             model,
             graph_cache_size=graph_cache_size,
             compile=plan_cache is not None,
             plan_cache=plan_cache,
+            registry=registry,
+            stats_labels=stats_labels,
         )
         self._store = store
 
@@ -137,9 +160,9 @@ class _PooledPredictor(Predictor):
             if store["version"] != version:
                 store["state"] = self.model.compute_embeddings()
                 store["version"] = version
-                self.stats.embedding_refreshes += 1
+                self.stats.note_embedding_refresh()
             else:
-                self.stats.embedding_cache_hits += 1
+                self.stats.note_embedding_cache_hit()
             return version, store["state"]
 
     def invalidate(self):
@@ -195,16 +218,25 @@ class InferenceServer:
         # workers never race the first-touch builds.
         if hasattr(model, "_poi_leaf_table"):
             model._poi_leaf_table()
+        # One registry for the whole runtime: the scheduler, plan cache,
+        # worker stats, and stream pipeline all register their
+        # instruments here, so /stats and /metrics are two renderings
+        # of the same instruments rather than parallel bookkeeping.
+        self.registry = MetricsRegistry()
+        self.slow_ring = SlowRing(self.config.slow_ring_size)
         self.scheduler = MicroBatchScheduler(
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
             max_queue=self.config.max_queue,
+            registry=self.registry,
         )
         embedding_store = {"lock": threading.Lock(), "version": None, "state": None}
         self.plan_cache: Optional[PlanCache] = None
         if self.config.compile and supports_plans(model):
             self.plan_cache = PlanCache(
-                maxsize=self.config.plan_cache_size, dtype=self.config.plan_dtype
+                maxsize=self.config.plan_cache_size,
+                dtype=self.config.plan_dtype,
+                registry=self.registry,
             )
         self.predictors: List[Predictor] = [
             _PooledPredictor(
@@ -212,13 +244,31 @@ class InferenceServer:
                 graph_cache_size=self.config.graph_cache_size,
                 store=embedding_store,
                 plan_cache=self.plan_cache,
+                registry=self.registry,
+                stats_labels={"worker": str(index)},
             )
-            for _ in range(self.config.workers)
+            for index in range(self.config.workers)
         ]
-        self._request_stats = ServeStats()
-        self._failed = 0
-        self._state_lock = threading.Lock()
+        self._request_stats = ServeStats(
+            registry=self.registry, namespace="serve_request"
+        )
+        self._failed = self.registry.counter(
+            "serve_request_failed", "Requests whose batch raised"
+        )
         self._in_flight = [0] * self.config.workers  # per-worker batch sizes
+        self.registry.gauge(
+            "serve_in_flight",
+            "Requests currently executing in worker batches",
+            fn=lambda: sum(self._in_flight),
+        )
+        self.registry.gauge(
+            "serve_weights_version",
+            "Weights generation currently served",
+            fn=self._primary.weights_version,
+        )
+        self._traces_sampled = self.registry.counter(
+            "serve_traces_sampled", "Requests that carried a sampled trace"
+        )
         self._threads: List[threading.Thread] = []
         self._started = False
         self._stopped = False
@@ -238,11 +288,15 @@ class InferenceServer:
             self.stream = ingest
             for predictor in self.predictors:
                 ingest.register_predictor(predictor)
+            # the ingest pipeline predates the server (e.g. DurableIngest
+            # built during recovery): adopt its instruments so /metrics
+            # covers WAL/snapshot gauges and ingest counters too
+            self.registry.adopt(ingest.registry)
         else:
             self.state_store = state_store
             self.stream = None
             if state_store is not None:
-                self.stream = StreamIngest(state_store)
+                self.stream = StreamIngest(state_store, registry=self.registry)
                 for predictor in self.predictors:
                     self.stream.register_predictor(predictor)
 
@@ -413,11 +467,27 @@ class InferenceServer:
                 return
             samples = [request.sample for request in batch]
             self._in_flight[index] = len(batch)
+            # One batch-scoped trace serves every traced member of the
+            # batch: the worker's spans (inference, and below it the
+            # model's encode/plan-replay/ranking spans) are recorded
+            # once and grafted into each member's own trace afterwards,
+            # so a request's tree shows the shared work it rode on.
+            # Untraced batches skip all of it — no Trace, no spans.
+            batch_trace = (
+                Trace() if any(r.trace is not None for r in batch) else None
+            )
+            batch_started = time.monotonic()
             try:
-                results = predictor.predict_batch(samples)
+                if batch_trace is not None:
+                    with activate(batch_trace):
+                        with span(
+                            "infer.batch", worker=index, batch_size=len(batch)
+                        ):
+                            results = predictor.predict_batch(samples)
+                else:
+                    results = predictor.predict_batch(samples)
             except Exception as error:  # contain the blast radius to this batch
-                with self._state_lock:
-                    self._failed += len(batch)
+                self._failed.inc(len(batch))
                 for request in batch:
                     try:
                         request.future.set_exception(error)
@@ -427,12 +497,22 @@ class InferenceServer:
             finally:
                 self._in_flight[index] = 0
             completed_at = time.monotonic()
+            exported = (
+                batch_trace.export_spans() if batch_trace is not None else None
+            )
             for request, result in zip(batch, results):
                 # record before resolving: a client that wakes on its
                 # future must already see itself counted in /stats
                 self._request_stats.record_batch(
                     completed_at - request.enqueued_at, 1
                 )
+                if request.trace is not None:
+                    request.trace.add_span(
+                        "queue.wait", request.enqueued_at, batch_started
+                    )
+                    # same process: the batch trace's offsets re-anchor
+                    # exactly at its monotonic start
+                    request.trace.graft(exported, anchor=batch_trace.started_at)
                 try:
                     request.future.set_result(result)
                 except InvalidStateError:
@@ -497,12 +577,12 @@ class InferenceServer:
         fallback counters plus per-plan step and buffer sizes) or
         ``{"enabled": false}`` when serving eagerly.
         """
-        batch_window: List[float] = []
         batch_requests = batch_count = refreshes = hits = 0
+        latency_snapshots: List[Dict] = []
         workers_detail: List[Dict] = []
         for index, predictor in enumerate(self.predictors):
             stats = predictor.stats
-            batch_window.extend(stats.recent_batch_seconds())
+            latency_snapshots.append(stats.latency.snapshot())
             batch_requests += stats.requests
             batch_count += stats.batches
             refreshes += stats.embedding_refreshes
@@ -515,11 +595,13 @@ class InferenceServer:
                     "batches": stats.batches,
                 }
             )
-        batch_ms = sorted(1000.0 * s for s in batch_window)
+        # per-worker histograms sum bucket-wise into one pool-wide
+        # latency distribution — the merge the old pooled-list window
+        # approximated with O(requests) memory
+        pooled = merge_histogram_snapshots(latency_snapshots)
         request_stats = self._request_stats.as_dict()
         scheduler_stats = self.scheduler.stats()
-        with self._state_lock:
-            failed = self._failed
+        failed = int(self._failed.value)
         out = {
             "running": self.running,
             "workers": len(self.predictors),
@@ -535,7 +617,7 @@ class InferenceServer:
                 "embedding_refreshes": refreshes,
                 "embedding_cache_hits": hits,
                 **{
-                    f"p{p}_ms": interpolated_percentile(batch_ms, p)
+                    f"p{p}_ms": 1000.0 * snapshot_percentile(pooled, p)
                     for p in LATENCY_PERCENTILES
                 },
             },
@@ -555,7 +637,20 @@ class InferenceServer:
         )
         if self.stream is not None:
             out["stream"] = self.stream.stats()
+        out["tracing"] = {
+            "sample_rate": self.config.trace_sample,
+            "sampled": int(self._traces_sampled.value),
+            "slow_ring": len(self.slow_ring),
+        }
         return out
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition ``GET /metrics`` serves."""
+        return render_prometheus(self.registry.snapshot())
+
+    def slow_requests(self, n: int = 10) -> List[Dict]:
+        """The ``n`` worst recent traced requests as span trees."""
+        return self.slow_ring.slow(n)
 
 
 # ----------------------------------------------------------------------
@@ -577,6 +672,14 @@ def _make_handler(server: InferenceServer):
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
@@ -606,18 +709,48 @@ def _make_handler(server: InferenceServer):
                 )
             elif self.path == "/stats":
                 self._send_json(200, server.stats())
+            elif self.path == "/metrics":
+                self._send_text(
+                    200, server.metrics_text(), "text/plain; version=0.0.4"
+                )
+            elif self.path.startswith("/debug/slow"):
+                self._send_json(200, {"slow": server.slow_requests(self._slow_n())})
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+        def _slow_n(self) -> int:
+            # /debug/slow?n=25 — bad or absent n falls back to 10
+            _, _, query = self.path.partition("?")
+            for part in query.split("&"):
+                key, _, value = part.partition("=")
+                if key == "n" and value.isdigit():
+                    return max(1, min(int(value), server.slow_ring.capacity))
+            return 10
 
         def do_POST(self):
             if self.path not in ("/predict", "/recommend", "/reload", "/checkin"):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
                 return
+            # Sampled request tracing: the trace is thread-local for
+            # the rest of this handler (submit captures it onto the
+            # ServeRequest; checkin's WAL append sees it directly) and
+            # lands in the slow ring once the response is written.
+            trace = maybe_trace(server.config.trace_sample)
             try:
-                payload = self._read_json()
-            except ValueError as error:
-                self._send_json(400, {"error": str(error)})
-                return
+                with activate(trace):
+                    self._dispatch_post()
+            finally:
+                if trace is not None:
+                    server._traces_sampled.inc()
+                    server.slow_ring.offer(trace)
+
+        def _dispatch_post(self):
+            with span("http.parse", path=self.path):
+                try:
+                    payload = self._read_json()
+                except ValueError as error:
+                    self._send_json(400, {"error": str(error)})
+                    return
             if self.path == "/reload":
                 self._reload(payload)
             elif self.path == "/checkin":
@@ -634,7 +767,8 @@ def _make_handler(server: InferenceServer):
                 )
                 return
             try:
-                event = event_from_json(payload, num_pois=server.num_pois)
+                with span("validate"):
+                    event = event_from_json(payload, num_pois=server.num_pois)
             except ValueError as error:
                 self._send_json(400, {"error": str(error)})
                 return
@@ -693,12 +827,14 @@ def _make_handler(server: InferenceServer):
                 # ships history or a target but no prefix is a broken
                 # *stateless* request and must keep its 400; silently
                 # serving it from stored state would mask the bug.
-                sample, handled = self._stored_sample(payload)
+                with span("validate", historyless=True):
+                    sample, handled = self._stored_sample(payload)
                 if handled:
                     return
             else:
                 try:
-                    sample = sample_from_json(payload, num_pois=server.num_pois)
+                    with span("validate"):
+                        sample = sample_from_json(payload, num_pois=server.num_pois)
                 except ValueError as error:
                     self._send_json(400, {"error": str(error)})
                     return
@@ -764,7 +900,9 @@ class HttpFrontend:
     history-less form ``{"user_id": ...}`` served from the state
     store), ``POST /checkin`` (``{"user_id", "poi_id", "timestamp"}``,
     stateful servers only), ``POST /reload`` (``{"checkpoint": path}``),
-    ``GET /healthz`` and ``GET /stats``.  A threading HTTP server
+    ``GET /healthz``, ``GET /stats``, ``GET /metrics`` (Prometheus
+    text) and ``GET /debug/slow?n=10`` (the worst recent traced
+    requests as span trees).  A threading HTTP server
     gives each connection its own thread; those threads block on their
     request futures while the scheduler coalesces them into
     micro-batches.  ``port=0`` binds an ephemeral port (tests).

@@ -32,6 +32,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional
 
+from ..obs import MetricsRegistry
 from ..utils.cache import LRUCache
 from .events import CheckinEvent
 from .state import AppendResult, StoreConfig, UserStateStore
@@ -42,22 +43,53 @@ class StreamIngest:
 
     Thread-safe: the store serialises per-user appends on shard locks,
     cache drops go through the locked :class:`LRUCache`, and the
-    pipeline's own counters sit behind one small lock.
+    pipeline's counters are per-instrument-locked registry counters
+    (a private :class:`~repro.obs.MetricsRegistry` when standalone;
+    the server adopts it at wiring time so ``/metrics`` sees them).
     """
 
     def __init__(
         self,
         store: Optional[UserStateStore] = None,
         caches: Iterable[Optional[LRUCache]] = (),
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.store = store if store is not None else UserStateStore(StoreConfig())
         self._caches: List[LRUCache] = [c for c in caches if c is not None]
         self._push_caches: List[LRUCache] = []
         self._lock = threading.Lock()
-        self.events = 0
-        self.rollovers = 0
-        self.invalidations = 0  # cache entries actually removed
-        self.graph_pushes = 0  # fresh incremental entries installed
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events = self.registry.counter(
+            "ingest_events", "Check-in events ingested"
+        )
+        self._rollovers = self.registry.counter(
+            "ingest_rollovers", "Session rollovers observed"
+        )
+        self._invalidations = self.registry.counter(
+            "ingest_cache_invalidations", "Stale graph cache entries removed"
+        )
+        self._graph_pushes = self.registry.counter(
+            "ingest_graph_pushes", "Fresh incremental graph entries installed"
+        )
+
+    # -- historical counter surface ------------------------------------
+    @property
+    def events(self) -> int:
+        return int(self._events.value)
+
+    @property
+    def rollovers(self) -> int:
+        return int(self._rollovers.value)
+
+    @property
+    def invalidations(self) -> int:
+        """Cache entries actually removed."""
+        return int(self._invalidations.value)
+
+    @property
+    def graph_pushes(self) -> int:
+        """Fresh incremental entries installed."""
+        return int(self._graph_pushes.value)
 
     def register_cache(self, cache: Optional[LRUCache]) -> None:
         """Add a serving-layer graph cache to the invalidation set.
@@ -109,12 +141,13 @@ class StreamIngest:
                 for cache in self._push_caches:
                     cache.put(result.history_key, result.graph_entry)
                     pushed += 1
-        with self._lock:
-            self.events += 1
-            if result.session_rolled:
-                self.rollovers += 1
-            self.invalidations += dropped
-            self.graph_pushes += pushed
+        self._events.inc()
+        if result.session_rolled:
+            self._rollovers.inc()
+        if dropped:
+            self._invalidations.inc(dropped)
+        if pushed:
+            self._graph_pushes.inc(pushed)
         return result
 
     def ingest_many(self, events: Iterable[CheckinEvent]) -> List[AppendResult]:
@@ -122,13 +155,12 @@ class StreamIngest:
 
     def stats(self) -> Dict:
         """Pipeline counters merged with the store's roll-up."""
-        with self._lock:
-            counters = {
-                "ingested": self.events,
-                "rollovers": self.rollovers,
-                "cache_invalidations": self.invalidations,
-                "graph_pushes": self.graph_pushes,
-                "registered_caches": len(self._caches),
-                "push_caches": len(self._push_caches),
-            }
+        counters = {
+            "ingested": self.events,
+            "rollovers": self.rollovers,
+            "cache_invalidations": self.invalidations,
+            "graph_pushes": self.graph_pushes,
+            "registered_caches": len(self._caches),
+            "push_caches": len(self._push_caches),
+        }
         return {**self.store.stats(), **counters}

@@ -367,6 +367,43 @@ class TestRecovery:
         assert stats["last_seq"] == 25
         assert stats["snapshots_taken"] == 2
         assert stats["since_snapshot"] == 5
+        # the WAL health gauges behind /metrics
+        assert stats["segments"] == len(list_segments(tmp_path))
+        assert stats["bytes_appended"] > 0
+        assert 0 < stats["bytes_since_snapshot"] < stats["bytes_appended"]
+        assert 0.0 <= stats["snapshot_age_seconds"] < 60.0
+        log.close()
+
+    def test_wal_gauges_exposed_through_registry(self, tmp_path):
+        """The durability gauges scrape straight from the registry."""
+        from repro.obs import parse_prometheus, render_prometheus
+
+        log = EventLogWriter(tmp_path, fsync="never", segment_max_records=4)
+        durable = DurableIngest(
+            store=UserStateStore(STORE_CFG), log=log, snapshot_interval=10
+        )
+        for event in drifting_events(12):
+            durable.ingest(event)
+            durable.maybe_snapshot()
+        parsed = parse_prometheus(render_prometheus(durable.registry.snapshot()))
+        assert parsed[("wal_last_seq", ())] == 12.0
+        assert parsed[("wal_snapshots_taken", ())] == 1.0
+        assert parsed[("wal_segments", ())] == float(len(list_segments(tmp_path)))
+        assert parsed[("wal_appended", ())] == 12.0
+        assert parsed[("wal_bytes_since_snapshot", ())] > 0.0
+        assert 0.0 <= parsed[("wal_snapshot_age_seconds", ())] < 60.0
+        # the fsync policy travels as a label, not a magic number
+        assert parsed[("wal_info", (("fsync", "never"),))] == 1.0
+        # before any snapshot the age gauge reads -1 (sentinel, not 0)
+        fresh_dir = tmp_path / "fresh"
+        fresh = DurableIngest(
+            store=UserStateStore(STORE_CFG), log=EventLogWriter(fresh_dir)
+        )
+        fresh_parsed = parse_prometheus(
+            render_prometheus(fresh.registry.snapshot())
+        )
+        assert fresh_parsed[("wal_snapshot_age_seconds", ())] == -1.0
+        fresh.log.close()
         log.close()
 
     def test_threaded_ingest_recovers_exactly(self, tmp_path):

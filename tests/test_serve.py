@@ -447,7 +447,10 @@ class TestPredictor:
         for lo in range(0, 12, 4):
             predictor.predict_batch(splits.test[lo : lo + 4])
         stats = predictor.stats
-        assert len(stats.batch_seconds) == 3
+        # latency lives in a fixed-bucket histogram: O(buckets) memory,
+        # every batch counted, no unbounded per-batch list
+        assert stats.latency.count == 3
+        assert stats.latency.sum == pytest.approx(stats.total_seconds)
         pct = stats.latency_percentiles()
         assert pct["p50_ms"] > 0
         assert pct["p50_ms"] <= pct["p95_ms"] <= pct["p99_ms"]

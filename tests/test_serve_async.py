@@ -200,7 +200,11 @@ class TestServeStatsThreadSafe:
         try:
             for _ in range(50):
                 snapshot = stats.as_dict()
-                assert snapshot["requests"] == snapshot["batches"]
+                # counters are striped (per-instrument locks), so a read
+                # can land mid-record: with one single-request writer the
+                # counters may be skewed by at most the one in-flight
+                # record, never torn or lost
+                assert abs(snapshot["requests"] - snapshot["batches"]) <= 1
                 stats.latency_percentiles()
         finally:
             stop.set()
@@ -914,7 +918,7 @@ class TestHttpFrontend:
 
     def test_unknown_get_is_404(self, http_stack):
         _, front = http_stack
-        status, body = _get(front.url + "/metrics")
+        status, body = _get(front.url + "/nope")
         assert status == 404
 
     def test_reload_corrupt_checkpoint_is_400_not_dropped(self, http_stack, tmp_path):
