@@ -15,6 +15,13 @@ the request totals the JSON ``/stats`` reports), checks ``/debug/slow``
 returns a populated span tree, and archives the raw scrape to
 ``benchmarks/results/OBS_sample.prom`` for the CI artifact.
 
+The server is *stateful*, so the smoke also closes the prequential
+quality loop over real HTTP: check a user's prefix in, serve a
+history-less prediction, check in where the user actually went next,
+and assert ``GET /quality`` reports the join, the quality series show
+up in the final ``/metrics`` scrape, and the ``/quality`` JSON lands
+in ``benchmarks/results/QUALITY_sample.json`` as a second artifact.
+
 Run standalone with
 ``PYTHONPATH=src python benchmarks/smoke_serve_http.py``.
 """
@@ -27,6 +34,7 @@ from pathlib import Path
 from repro.experiments import get_profile, prepare, run_one
 from repro.obs import parse_prometheus
 from repro.serve import HttpFrontend, InferenceServer, ServerConfig
+from repro.stream import StoreConfig, UserStateStore
 
 CONCURRENT_CLIENTS = 8
 REQUESTS_PER_CLIENT = 4
@@ -57,7 +65,10 @@ def main() -> None:
     config = ServerConfig(
         workers=2, max_batch_size=8, max_wait_ms=4.0, trace_sample=1.0
     )
-    with InferenceServer(model, config=config) as server:
+    store = UserStateStore(StoreConfig())
+    with InferenceServer(
+        model, config=config, dataset=data.dataset, state_store=store
+    ) as server:
         with HttpFrontend(server, port=0) as front:
             status, health = _get(front.url + "/healthz")
             assert status == 200 and health["status"] == "ok", health
@@ -136,9 +147,70 @@ def main() -> None:
                 walk(root)
             assert {"queue.wait", "infer.batch"} <= stage_names, stage_names
 
+            # the prequential quality loop over real HTTP: prefix
+            # check-ins, a history-less prediction, then the true next
+            # POI — the delayed label that joins the served top-K
+            demo, seen_users = [], set()
+            for sample in data.splits.test:
+                if sample.user_id in seen_users or len(sample.prefix) < 2:
+                    continue
+                seen_users.add(sample.user_id)
+                demo.append(sample)
+                if len(demo) == 6:
+                    break
+            assert demo, "smoke needs at least one multi-visit test user"
+            for sample in demo:
+                for visit in sample.prefix:
+                    status, _ = _post(front.url + "/checkin", {
+                        "user_id": sample.user_id,
+                        "poi_id": visit.poi_id,
+                        "timestamp": visit.timestamp,
+                    })
+                    assert status == 200, status
+                status, body = _post(
+                    front.url + "/predict", {"user_id": sample.user_id, "k": 5}
+                )
+                assert status == 200, body
+                status, _ = _post(front.url + "/checkin", {
+                    "user_id": sample.user_id,
+                    "poi_id": sample.target.poi_id,
+                    "timestamp": sample.target.timestamp,
+                })
+                assert status == 200, status
+
+            status, quality = _get(front.url + "/quality")
+            assert status == 200, quality
+            assert quality["enabled"] is True, quality
+            joins = sum(quality["joins"].values())
+            assert joins >= len(demo), quality
+            assert set(quality["strata"]) == {"0", "1", "2+", "all"}, quality
+            assert quality["strata"]["all"]["window"]["joins"] >= len(demo), quality
+            assert quality["drift"]["enabled"] is True, quality
+            assert quality["store_strata"], quality
+
+            # quality series must ride the same Prometheus exposition
+            with urllib.request.urlopen(front.url + "/metrics", timeout=30) as response:
+                final_scrape = response.read().decode("utf-8")
+            final_parsed = parse_prometheus(final_scrape)
+            quality_joins = sum(
+                value for (name, _), value in final_parsed.items()
+                if name == "repro_quality_joins_total"
+            )
+            assert quality_joins == joins, (quality_joins, joins)
+            quality_series = {
+                name for name, _ in final_parsed
+                if name.startswith(("repro_quality_", "repro_drift_"))
+            }
+            for required in ("repro_quality_recall", "repro_quality_mrr",
+                             "repro_quality_pending", "repro_drift_psi",
+                             "repro_drift_alert"):
+                assert required in quality_series, quality_series
+
             RESULTS_DIR.mkdir(exist_ok=True)
             artifact = RESULTS_DIR / "OBS_sample.prom"
-            artifact.write_text(scrape)
+            artifact.write_text(final_scrape)
+            quality_artifact = RESULTS_DIR / "QUALITY_sample.json"
+            quality_artifact.write_text(json.dumps(quality, indent=2) + "\n")
             print(
                 f"smoke OK: {expected} concurrent HTTP requests, "
                 f"{stats['batches']['count']} micro-batches "
@@ -150,6 +222,12 @@ def main() -> None:
                 f"{len(slow['slow'])} slow traces "
                 f"({len(stage_names)} distinct stages) "
                 f"[scrape archived to {artifact}]"
+            )
+            print(
+                f"quality OK: {joins} prequential joins over HTTP, "
+                f"recall@5 {quality['strata']['all']['recall']['5']:.3f} "
+                f"({len(quality_series)} quality/drift series) "
+                f"[report archived to {quality_artifact}]"
             )
 
 

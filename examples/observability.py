@@ -5,7 +5,7 @@ plans, WAL durability, a shard ring — and ``repro.obs`` is how you see
 any of it working: every layer feeds one :class:`MetricsRegistry`
 (counters, gauges, fixed-bucket histograms) and a sampled request
 carries a trace through every hand-off — HTTP thread to scheduler
-queue to worker batch to the model's encode/rank stages.  Five stops:
+queue to worker batch to the model's encode/rank stages.  Six stops:
 
 1. instruments: observe latencies into a histogram, read exact
    percentiles back (mergeable across workers — no latency lists);
@@ -17,7 +17,12 @@ queue to worker batch to the model's encode/rank stages.  Five stops:
 4. the diff: two scrapes a few hundred requests apart turned into the
    rate/latency table ``repro obs-report`` prints;
 5. the off switch: with ``trace_sample=0.0`` the span hooks allocate
-   *nothing* — proven with the Span allocation probe, not a promise.
+   *nothing* — proven with the Span allocation probe, not a promise;
+6. model quality, live: a stateful server records every served top-K,
+   the user's next ``POST /checkin`` joins it as the delayed label, and
+   the scrape grows prequential ``repro_quality_recall`` /
+   ``repro_quality_mrr`` series by cold-start stratum — plus the
+   ``GET /quality`` JSON report and the drift detector's PSI gauges.
 
 Runs in under a minute on a laptop CPU:
 
@@ -194,11 +199,85 @@ def main() -> None:
     finally:
         front.stop()
         server.stop(drain=True)
+    # ------------------------------------------------------------------
+    # 6. model quality: the next check-in grades the last answer
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 68)
+    print("6. live prequential quality: GET /quality")
+    print("=" * 68)
+    from repro.stream import StoreConfig, UserStateStore
+
+    store = UserStateStore(StoreConfig())
+    server = InferenceServer(
+        model,
+        config=ServerConfig(workers=1, max_batch_size=8, max_wait_ms=2.0,
+                            quality_window=3600.0, quality_topk=10),
+        dataset=dataset,
+        state_store=store,
+    ).start()
+    front = HttpFrontend(server, port=0).start()
+    try:
+        seen_users = set()
+        demo = []
+        for sample in splits.test:
+            if sample.user_id in seen_users or len(sample.prefix) < 2:
+                continue
+            seen_users.add(sample.user_id)
+            demo.append(sample)
+            if len(demo) == 24:
+                break
+        for sample in demo:
+            # replay the prefix as live check-ins, ask for a ranked list,
+            # then check the user in where they *actually* went next:
+            # that last event is the delayed label and joins the served
+            # prediction on the ingest path
+            for visit in sample.prefix:
+                post(front.url + "/checkin", {
+                    "user_id": sample.user_id,
+                    "poi_id": visit.poi_id,
+                    "timestamp": visit.timestamp,
+                })
+            post(front.url + "/predict", {"user_id": sample.user_id, "k": 10})
+            post(front.url + "/checkin", {
+                "user_id": sample.user_id,
+                "poi_id": sample.target.poi_id,
+                "timestamp": sample.target.timestamp,
+            })
+        quality = json.loads(get_text(front.url + "/quality"))
+        joins = sum(quality["joins"].values())
+        assert joins > 0, "the next check-in must join the served prediction"
+        overall = quality["strata"]["all"]
+        print(f"   {len(demo)} predictions served, {joins} joined by the "
+              "user's next check-in")
+        print(f"   windowed recall@10 {overall['recall']['10']:.3f}, "
+              f"mrr {overall['mrr']:.3f}  (pending {quality['pending']})")
+        print("   by cold-start stratum (completed sessions before serving):")
+        for stratum in ("0", "1", "2+"):
+            s = quality["strata"][stratum]
+            print(f"     {stratum:>2}: joins {s['window']['joins']:.0f}, "
+                  f"recall@10 {s['recall']['10']:.3f}")
+        drift = quality["drift"]
+        print(f"   drift: {drift['events']} events sketched, frozen="
+              f"{drift['frozen']}, alert={drift['alert']}")
+        scrape = get_text(front.url + "/metrics")
+        quality_lines = [
+            line for line in scrape.splitlines()
+            if line.startswith(("repro_quality_recall", "repro_quality_joins"))
+        ]
+        for line in quality_lines[:6]:
+            print(f"   {line}")
+        print(f"   ... plus drift PSI/KL gauges, all in the same scrape")
+    finally:
+        front.stop()
+        server.stop(drain=True)
+
     print()
     print("   the cluster tier speaks the same protocol: the router samples,")
     print("   ships a trace carrier over the shard pipe, and grafts the")
     print("   shard's spans under its routing span; its GET /metrics merges")
-    print('   every shard registry with shard="NN" labels.')
+    print('   every shard registry with shard="NN" labels, and GET /quality')
+    print("   sums the shards' windowed joins/hits before re-dividing.")
 
 
 if __name__ == "__main__":

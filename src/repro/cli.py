@@ -137,6 +137,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "(0 disables tracing, 1 traces everything; "
                                    "sampled traces feed GET /debug/slow; "
                                    "default: 0.01)")
+    serve_parser.add_argument("--quality-window", type=float, default=3600.0,
+                              dest="quality_window", metavar="SECONDS",
+                              help="sliding window of the prequential quality "
+                                   "monitor (with --stateful; 0 disables; "
+                                   "default: 3600)")
+    serve_parser.add_argument("--quality-topk", type=int, default=20,
+                              dest="quality_topk", metavar="K",
+                              help="ranked-list depth the quality monitor "
+                                   "stores per served prediction "
+                                   "(default: 20)")
 
     bench_parser = sub.add_parser(
         "serve-bench", help="benchmark cached vs uncached vs batched throughput"
@@ -216,6 +226,8 @@ def _server_config(args):
         compile=not args.no_compile,
         plan_dtype=args.plan_dtype,
         trace_sample=args.trace_sample,
+        quality_window=getattr(args, "quality_window", 3600.0),
+        quality_topk=getattr(args, "quality_topk", 20),
     )
 
 
@@ -246,6 +258,8 @@ def _cmd_serve_cluster(args) -> int:
             compile=not args.no_compile,
             plan_dtype=args.plan_dtype,
             trace_sample=args.trace_sample,
+            quality_window=args.quality_window,
+            quality_topk=args.quality_topk,
         )
         router = ClusterRouter(args.checkpoint, args.persist, config=config)
     except FileNotFoundError:
@@ -265,6 +279,7 @@ def _cmd_serve_cluster(args) -> int:
     print(f"  POST {front.url}/checkin    POST {front.url}/predict")
     print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
     print(f"  GET  {front.url}/metrics    GET  {front.url}/debug/slow")
+    print(f"  GET  {front.url}/quality")
     try:
         front.serve_forever()
     except KeyboardInterrupt:
@@ -454,6 +469,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "{\"user_id\": ...}")
         print(f"  GET  {front.url}/healthz    GET  {front.url}/stats")
         print(f"  GET  {front.url}/metrics    GET  {front.url}/debug/slow")
+        if stateful:
+            print(f"  GET  {front.url}/quality")
         try:
             front.serve_forever()
         except KeyboardInterrupt:

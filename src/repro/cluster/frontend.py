@@ -3,7 +3,8 @@
 :class:`ClusterHttpFrontend` mirrors the single-process
 :class:`~repro.serve.server.HttpFrontend` contract — ``POST /checkin``
 / ``/predict`` / ``/recommend``, ``GET /healthz`` / ``/stats`` /
-``/metrics`` / ``/debug/slow`` — so a client (or the benchmark
+``/metrics`` / ``/quality`` / ``/debug/slow`` — so a client (or the
+benchmark
 harness) moves between tiers by changing a URL.  ``GET /metrics``
 aggregates every shard's registry over the control pipe with
 ``shard=\"NN\"`` labels next to the router's own series.  Status codes
@@ -80,6 +81,8 @@ def _make_handler(router: ClusterRouter):
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
+            elif self.path == "/quality":
+                self._send_json(200, router.quality())
             elif self.path.startswith("/debug/slow"):
                 self._send_json(200, {"slow": router.slow_requests(self._slow_n())})
             else:

@@ -84,6 +84,8 @@ class WorkerSpec:
     compile: bool = True
     plan_dtype: str = "float64"
     trace_sample: float = 0.0
+    quality_window: float = 3600.0
+    quality_topk: int = 20
 
     def store_config(self) -> StoreConfig:
         return StoreConfig(
@@ -137,6 +139,8 @@ class _WorkerRuntime:
                 compile=spec.compile,
                 plan_dtype=spec.plan_dtype,
                 trace_sample=spec.trace_sample,
+                quality_window=spec.quality_window,
+                quality_topk=spec.quality_topk,
             ),
             dataset=dataset,
             ingest=self.ingest,
@@ -313,6 +317,19 @@ class _WorkerRuntime:
             "ok": True,
             "shard": self.spec.shard_index,
             "metrics": self.server.registry.snapshot(),
+        }
+
+    def _op_quality(self, request: Dict) -> Dict:
+        """The shard's prequential-quality/drift report (control pipe).
+
+        The per-stratum blocks carry raw windowed sums, so the router
+        merges shard reports by addition and recomputes cluster-wide
+        ratios — never averaging per-shard ratios.
+        """
+        return {
+            "ok": True,
+            "shard": self.spec.shard_index,
+            "quality": self.server.quality_report(),
         }
 
     def _op_slow(self, request: Dict) -> Dict:
@@ -531,6 +548,10 @@ class ShardHandle:
     def control_metrics(self, timeout: float = 30.0) -> Dict:
         """Registry snapshot over the control pipe (/metrics aggregation)."""
         return self._roundtrip("control", {"op": "metrics"}, timeout)
+
+    def control_quality(self, timeout: float = 30.0) -> Dict:
+        """Quality/drift report over the control pipe (/quality merge)."""
+        return self._roundtrip("control", {"op": "quality"}, timeout)
 
     def control_slow(self, n: int = 10, timeout: float = 30.0) -> Dict:
         """The shard's slow-trace exemplars over the control pipe."""

@@ -131,8 +131,33 @@ _SAMPLE = re.compile(
 _LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
+_ESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
 def _unescape(value: str) -> str:
-    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    """Decode label-value escapes in one left-to-right scan.
+
+    Chained ``str.replace`` passes are order-sensitive and wrong: a raw
+    backslash followed by ``n`` renders as ``\\\\n`` (escaped
+    backslash, literal n), but a ``\\n``-first replace pass would eat
+    the tail of that escaped backslash and decode it to backslash +
+    newline.  A single scan consumes each escape exactly once —
+    the precise inverse of :func:`_escape_label`.
+    """
+    if "\\" not in value:
+        return value
+    out: List[str] = []
+    i, n = 0, len(value)
+    while i < n:
+        char = value[i]
+        if char == "\\" and i + 1 < n:
+            follower = value[i + 1]
+            out.append(_ESCAPE_MAP.get(follower, "\\" + follower))
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
 
 
 def _parse_value(raw: str) -> float:
@@ -202,16 +227,49 @@ def diff_scrapes(before_text: str, after_text: str) -> Dict:
     and p50/p95/p99 from the *bucket deltas* — the latency of requests
     served between the two scrapes, not since process start.  Gauges
     report before → after.
+
+    The two scrapes need not cover identical series: a series new in
+    ``after`` is flagged ``absent_before`` (its delta counts from
+    zero), and series that vanished land in the ``absent`` list — both
+    surface as notes in :func:`format_report` instead of a KeyError.
+    A scrape missing its ``repro_scrape_timestamp_seconds`` gauge
+    (hand-edited files, foreign exporters) yields ``interval_seconds
+    = None`` and per-second rates of ``None`` with an actionable note,
+    rather than rates computed over a bogus interval.
     """
     before = parse_prometheus(before_text)
     after = parse_prometheus(after_text)
-    t0 = before.get(("repro_scrape_timestamp_seconds", ()), 0.0)
-    t1 = after.get(("repro_scrape_timestamp_seconds", ()), 0.0)
-    interval = max(t1 - t0, 0.0)
+    notes: List[str] = []
+    t0 = before.get(("repro_scrape_timestamp_seconds", ()))
+    t1 = after.get(("repro_scrape_timestamp_seconds", ()))
+    if t0 is None or t1 is None:
+        interval = None
+        missing = [side for side, t in (("before", t0), ("after", t1)) if t is None]
+        notes.append(
+            "repro_scrape_timestamp_seconds is missing from the "
+            + " and ".join(missing)
+            + (" scrapes" if len(missing) > 1 else " scrape")
+            + "; per-second rates omitted — scrape GET /metrics directly "
+            "(the gauge is embedded in every scrape this stack renders)"
+        )
+    else:
+        interval = max(t1 - t0, 0.0)
+
+    def _rate(delta: float) -> Optional[float]:
+        if interval is None:
+            return None
+        return delta / interval if interval > 0 else 0.0
+
+    absent = [
+        {"name": name, "labels": dict(labels)}
+        for name, labels in sorted(set(before) - set(after))
+        if name != "repro_scrape_timestamp_seconds"
+    ]
 
     counters: List[Dict] = []
     histograms: List[Dict] = []
     gauges: List[Dict] = []
+    quality: List[Dict] = []
 
     # Histogram series come as name_bucket/name_sum/name_count triples;
     # reassemble per (base name, labels-minus-le).
@@ -249,18 +307,24 @@ def diff_scrapes(before_text: str, after_text: str) -> Dict:
                     "name": name,
                     "labels": dict(labels),
                     "delta": delta,
-                    "per_second": delta / interval if interval > 0 else 0.0,
+                    "per_second": _rate(delta),
+                    "absent_before": before_value is None,
                 }
             )
         else:
-            gauges.append(
-                {
-                    "name": name,
-                    "labels": dict(labels),
-                    "before": before_value,
-                    "after": after_value,
-                }
-            )
+            row = {
+                "name": name,
+                "labels": dict(labels),
+                "before": before_value,
+                "after": after_value,
+            }
+            # model-quality and drift gauges get their own report
+            # section; burying them in the changed-gauges noise would
+            # defeat the point of scraping them
+            if name.startswith(("repro_quality_", "repro_drift_")):
+                quality.append(row)
+            else:
+                gauges.append(row)
 
     for (base, labels), parts in sorted(hist_parts.items()):
         count = parts.get("count", 0.0)
@@ -273,7 +337,7 @@ def diff_scrapes(before_text: str, after_text: str) -> Dict:
                 "name": base,
                 "labels": dict(labels),
                 "count": count,
-                "per_second": count / interval if interval > 0 else 0.0,
+                "per_second": _rate(count),
                 "mean": (parts.get("sum", 0.0) / count) if count else 0.0,
                 **quantiles,
             }
@@ -284,6 +348,9 @@ def diff_scrapes(before_text: str, after_text: str) -> Dict:
         "counters": counters,
         "histograms": histograms,
         "gauges": gauges,
+        "quality": quality,
+        "absent": absent,
+        "notes": notes,
     }
 
 
@@ -311,15 +378,31 @@ def format_report(diff: Dict, *, min_delta: float = 0.0) -> str:
     """The ``repro obs-report`` table, as plain text."""
     lines: List[str] = []
     interval = diff["interval_seconds"]
-    lines.append(f"interval: {interval:.2f}s")
+    if interval is None:
+        lines.append("interval: unknown (scrape-timestamp gauge missing; "
+                     "rates omitted)")
+    else:
+        lines.append(f"interval: {interval:.2f}s")
+    for note in diff.get("notes", ()):
+        lines.append(f"note: {note}")
 
+    def _rate_cell(rate: Optional[float], width: int) -> str:
+        return f"{'-':>{width}}" if rate is None else f"{rate:>{width}.2f}"
+
+    new_series = False
     active_counters = [c for c in diff["counters"] if abs(c["delta"]) > min_delta]
     if active_counters:
         lines.append("")
         lines.append(f"{'counter':<52} {'delta':>10} {'rate/s':>10}")
         for c in sorted(active_counters, key=lambda c: -c["delta"]):
             label = c["name"] + _label_str(c["labels"])
-            lines.append(f"{label:<52} {c['delta']:>10.0f} {c['per_second']:>10.2f}")
+            marker = ""
+            if c.get("absent_before"):
+                marker, new_series = " *", True
+            lines.append(
+                f"{label:<52} {c['delta']:>10.0f} "
+                f"{_rate_cell(c['per_second'], 10)}{marker}"
+            )
 
     active_hists = [h for h in diff["histograms"] if h["count"] > min_delta]
     if active_hists:
@@ -335,21 +418,42 @@ def format_report(diff: Dict, *, min_delta: float = 0.0) -> str:
             # else (batch sizes, byte counts) stays in its own unit
             scale = 1000.0 if h["name"].endswith("_seconds") else 1.0
             lines.append(
-                f"{label:<44} {h['count']:>8.0f} {h['per_second']:>8.2f} "
+                f"{label:<44} {h['count']:>8.0f} {_rate_cell(h['per_second'], 8)} "
                 f"{h['mean'] * scale:>8.2f} {h['p50'] * scale:>8.2f} "
                 f"{h['p95'] * scale:>8.2f} {h['p99'] * scale:>8.2f}"
             )
+
+    def _gauge_table(title: str, rows: Sequence[Dict]) -> None:
+        lines.append("")
+        lines.append(f"{title:<52} {'before':>10} {'after':>10}")
+        for g in rows:
+            label = g["name"] + _label_str(g["labels"])
+            before = "-" if g["before"] is None else f"{g['before']:.6g}"
+            lines.append(f"{label:<52} {before:>10} {g['after']:>10.6g}")
+
+    quality = diff.get("quality", ())
+    if quality:
+        _gauge_table("model quality / drift", quality)
 
     changed_gauges = [
         g for g in diff["gauges"]
         if g["before"] is None or g["before"] != g["after"]
     ]
     if changed_gauges:
+        _gauge_table("gauge", changed_gauges)
+
+    if new_series:
         lines.append("")
-        lines.append(f"{'gauge':<52} {'before':>10} {'after':>10}")
-        for g in changed_gauges:
-            label = g["name"] + _label_str(g["labels"])
-            before = "-" if g["before"] is None else f"{g['before']:.6g}"
-            lines.append(f"{label:<52} {before:>10} {g['after']:>10.6g}")
+        lines.append("* series absent from the before scrape; "
+                     "delta counts from zero")
+
+    absent = diff.get("absent", ())
+    if absent:
+        lines.append("")
+        lines.append(f"absent from the after scrape ({len(absent)} series):")
+        for row in absent[:20]:
+            lines.append(f"  {row['name']}{_label_str(row['labels'])}")
+        if len(absent) > 20:
+            lines.append(f"  ... and {len(absent) - 20} more")
 
     return "\n".join(lines) + "\n"

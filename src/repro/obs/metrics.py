@@ -30,6 +30,7 @@ servers in one process (tests, multi-tenant) never share counters.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -37,10 +38,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedCounter",
     "MetricsRegistry",
     "LATENCY_BUCKETS",
     "get_registry",
     "merge_histogram_snapshots",
+    "merge_windowed_snapshots",
     "snapshot_percentile",
 ]
 
@@ -245,6 +248,122 @@ class Histogram(_Instrument):
                 self._max = max(self._max, theirs["max"])
 
 
+class WindowedCounter(_Instrument):
+    """A counter that forgets: the sum over a sliding wall-clock window.
+
+    Quality estimators (windowed Recall@K joins, drift-window hits)
+    need "how many in the last hour", not "how many ever".  The window
+    is ``slots`` coarse cells keyed by **absolute** slot index
+    ``int(now // slot_seconds)`` — cells older than the window are
+    pruned lazily on write/read, so memory is O(slots) under any load.
+
+    Absolute slot keys are the merge discipline: two processes slicing
+    wall-clock time with the same ``window_seconds``/``slots`` produce
+    cells that align by key, so per-shard snapshots sum cell-wise into
+    one cluster-wide window (:func:`merge_windowed_snapshots`) exactly
+    like histograms sum bucket-wise.  Exposed as a *gauge* (the value
+    is a point-in-time windowed sum, not a monotone total).
+
+    ``clock`` is injectable for tests; it must return wall-clock
+    seconds (``time.time``), not a per-process monotonic origin,
+    or cross-process alignment breaks.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name,
+        help="",
+        labels=None,
+        window_seconds: float = 3600.0,
+        slots: int = 60,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(name, help, labels)
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        slots = int(slots)
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.window_seconds = float(window_seconds)
+        self.slots = slots
+        self.slot_seconds = self.window_seconds / slots
+        self._clock = clock if clock is not None else time.time
+        self._cells: Dict[int, float] = {}
+
+    def _now_slot(self) -> int:
+        return int(self._clock() // self.slot_seconds)
+
+    def _prune(self, now_slot: int) -> None:
+        floor = now_slot - self.slots + 1
+        for slot in [s for s in self._cells if s < floor]:
+            del self._cells[slot]
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("windowed counters only accumulate; use a Gauge")
+        self.inc_at(self._now_slot(), amount)
+
+    def inc_at(self, slot: int, amount: float = 1.0) -> None:
+        """Add into an already-computed slot (hot-path batching).
+
+        A caller updating several aligned windowed counters for one
+        logical event (a quality join touches up to eight) computes
+        ``_now_slot()`` once and fans it out, instead of paying a
+        clock read per instrument.  Only sound between counters that
+        share ``window_seconds``/``slots``/``clock``.
+        """
+        with self._lock:
+            self._cells[slot] = self._cells.get(slot, 0.0) + amount
+            if len(self._cells) > self.slots:
+                self._prune(slot)
+
+    @property
+    def value(self) -> float:
+        """Sum over the live window (stale cells pruned first)."""
+        slot = self._now_slot()
+        with self._lock:
+            self._prune(slot)
+            return sum(self._cells.values())
+
+    def snapshot(self) -> Dict:
+        slot = self._now_slot()
+        with self._lock:
+            self._prune(slot)
+            return {
+                **self._snapshot_head(),
+                "value": sum(self._cells.values()),
+                "window_seconds": self.window_seconds,
+                "slot_seconds": self.slot_seconds,
+                # JSON object keys are strings; absolute indices survive
+                # the round-trip as text and re-align on merge.
+                "cells": {str(s): v for s, v in self._cells.items()},
+            }
+
+
+def merge_windowed_snapshots(snapshots: Sequence[Dict]) -> Dict:
+    """Sum windowed-counter snapshots cell-wise by absolute slot index.
+
+    All snapshots must share ``window_seconds``/``slot_seconds`` (same
+    wall-clock slicing); shards satisfy this by construction since the
+    router hands every worker the same quality-window config.
+    """
+    if not snapshots:
+        raise ValueError("nothing to merge")
+    base = snapshots[0]
+    cells: Dict[str, float] = dict(base.get("cells", {}))
+    for snap in snapshots[1:]:
+        if (
+            snap.get("window_seconds") != base.get("window_seconds")
+            or snap.get("slot_seconds") != base.get("slot_seconds")
+        ):
+            raise ValueError("cannot merge windows with different slicing")
+        for slot, amount in snap.get("cells", {}).items():
+            cells[slot] = cells.get(slot, 0.0) + amount
+    return {**base, "cells": cells, "value": sum(cells.values())}
+
+
 def _bucket_percentile(bounds, counts, total, lo_seen, hi_seen, p) -> float:
     """Linear interpolation of the p-th percentile within its bucket.
 
@@ -355,6 +474,19 @@ class MetricsRegistry:
 
     def histogram(self, name, help="", labels=None, buckets=LATENCY_BUCKETS) -> Histogram:
         return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def windowed(
+        self, name, help="", labels=None, window_seconds=3600.0, slots=60, clock=None
+    ) -> WindowedCounter:
+        return self._get(
+            WindowedCounter,
+            name,
+            help,
+            labels,
+            window_seconds=window_seconds,
+            slots=slots,
+            clock=clock,
+        )
 
     def adopt(self, other: Optional["MetricsRegistry"]) -> None:
         """Register every instrument of ``other`` here (shared objects)."""

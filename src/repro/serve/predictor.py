@@ -203,6 +203,9 @@ class Predictor:
     ):
         self.model = model
         self.dataset = None  # set by from_checkpoint
+        # an attached QualityMonitor sees every served batch; None (the
+        # default) costs one attribute check per batch
+        self.quality = None
         self.stats = ServeStats(registry=registry, labels=stats_labels)
         self._shared: Optional[Tuple[Any, ...]] = None
         self._shared_version: Optional[int] = None
@@ -322,6 +325,12 @@ class Predictor:
             if was_training:
                 self.model.train(True)
         self.stats.record_batch(time.perf_counter() - start, len(results))
+        if self.quality is not None:
+            # record *before* the results leave the facade: by the time
+            # a caller (or the HTTP layer above it) sees the ranked
+            # list, the prediction is already pending its label
+            for sample, result in zip(samples, results):
+                self.quality.record(sample, result)
         return results
 
     def target_rank(self, sample: PredictionSample) -> int:

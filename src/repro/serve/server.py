@@ -58,7 +58,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..obs import (
+    DriftDetector,
     MetricsRegistry,
+    QualityMonitor,
     SlowRing,
     Trace,
     activate,
@@ -103,6 +105,11 @@ class ServerConfig:
     objects exist anywhere; 0.01 (the CLI serving default) traces 1%
     of requests into the ``/debug/slow`` ring of ``slow_ring_size``
     worst-recent exemplars.
+
+    ``quality_window`` is the sliding window (seconds) of the live
+    prequential quality estimators on a *stateful* server (``0``
+    disables the monitor entirely); ``quality_topk`` is the ranked-list
+    depth each served prediction stores while awaiting its label.
     """
 
     workers: int = 2
@@ -116,6 +123,8 @@ class ServerConfig:
     plan_cache_size: int = 32
     trace_sample: float = 0.0
     slow_ring_size: int = 64
+    quality_window: float = 3600.0
+    quality_topk: int = 20
 
     def __post_init__(self):
         if self.workers < 1:
@@ -124,6 +133,10 @@ class ServerConfig:
             raise ValueError("trace_sample must be within [0, 1]")
         if self.slow_ring_size < 1:
             raise ValueError("slow_ring_size must be >= 1")
+        if self.quality_window < 0:
+            raise ValueError("quality_window must be >= 0 (0 disables)")
+        if self.quality_topk < 1:
+            raise ValueError("quality_topk must be >= 1")
 
 
 class _PooledPredictor(Predictor):
@@ -299,6 +312,34 @@ class InferenceServer:
                 self.stream = StreamIngest(state_store, registry=self.registry)
                 for predictor in self.predictors:
                     self.stream.register_predictor(predictor)
+        # Model-quality observability (stateful servers only — the
+        # labels arrive as check-ins): every worker's served batch is
+        # recorded by one QualityMonitor, and the ingest observer hook
+        # joins each user's next check-in against the pending
+        # prediction; the same hook feeds the drift detector's
+        # POI/tile sketches.  All instruments live in ``self.registry``
+        # so /metrics (and the cluster's shard-merged scrape) carry
+        # them with zero extra plumbing.
+        self.quality: Optional[QualityMonitor] = None
+        self.drift: Optional[DriftDetector] = None
+        if self.stream is not None and self.config.quality_window > 0:
+            self.quality = QualityMonitor(
+                self.registry,
+                window_seconds=self.config.quality_window,
+                top_k=self.config.quality_topk,
+                gap_hours=self.state_store.config.gap_hours,
+            )
+            tile_system = getattr(model, "tile_system", None)
+            tile_of = (
+                getattr(tile_system, "leaf_of_poi", None)
+                if tile_system is not None
+                else None
+            )
+            self.drift = DriftDetector(self.registry, tile_of=tile_of)
+            self.stream.add_observer(self.quality.observe_checkin)
+            self.stream.add_observer(self.drift.update)
+            for predictor in self.predictors:
+                predictor.quality = self.quality
 
     @classmethod
     def from_checkpoint(
@@ -637,6 +678,12 @@ class InferenceServer:
         )
         if self.stream is not None:
             out["stream"] = self.stream.stats()
+        if self.quality is not None:
+            out["quality"] = {
+                "enabled": True,
+                "pending": self.quality.pending_count(),
+                "joins": sum(self.quality.summary()["joins"].values()),
+            }
         out["tracing"] = {
             "sample_rate": self.config.trace_sample,
             "sampled": int(self._traces_sampled.value),
@@ -647,6 +694,25 @@ class InferenceServer:
     def metrics_text(self) -> str:
         """The Prometheus text exposition ``GET /metrics`` serves."""
         return render_prometheus(self.registry.snapshot())
+
+    def quality_report(self) -> Dict:
+        """The ``GET /quality`` JSON: prequential accuracy + drift.
+
+        ``{"enabled": false}`` on a stateless server (no labels can
+        ever arrive) or when ``quality_window=0`` switched the monitor
+        off.  Per-stratum blocks carry raw windowed sums alongside the
+        ratios, which is what lets the cluster router merge shard
+        reports by addition.
+        """
+        if self.quality is None:
+            return {"enabled": False}
+        report = self.quality.summary()
+        report["drift"] = (
+            self.drift.summary() if self.drift is not None else {"enabled": False}
+        )
+        if self.state_store is not None:
+            report["store_strata"] = self.state_store.strata_counts()
+        return report
 
     def slow_requests(self, n: int = 10) -> List[Dict]:
         """The ``n`` worst recent traced requests as span trees."""
@@ -713,6 +779,8 @@ def _make_handler(server: InferenceServer):
                 self._send_text(
                     200, server.metrics_text(), "text/plain; version=0.0.4"
                 )
+            elif self.path == "/quality":
+                self._send_json(200, server.quality_report())
             elif self.path.startswith("/debug/slow"):
                 self._send_json(200, {"slow": server.slow_requests(self._slow_n())})
             else:
@@ -901,7 +969,9 @@ class HttpFrontend:
     store), ``POST /checkin`` (``{"user_id", "poi_id", "timestamp"}``,
     stateful servers only), ``POST /reload`` (``{"checkpoint": path}``),
     ``GET /healthz``, ``GET /stats``, ``GET /metrics`` (Prometheus
-    text) and ``GET /debug/slow?n=10`` (the worst recent traced
+    text), ``GET /quality`` (live prequential accuracy by cold-start
+    stratum plus drift gauges; stateful servers) and
+    ``GET /debug/slow?n=10`` (the worst recent traced
     requests as span trees).  A threading HTTP server
     gives each connection its own thread; those threads block on their
     request futures while the scheduler coalesces them into

@@ -49,6 +49,7 @@ from .replay import (
     prequential_replay,
     serialised_rebuild_baseline,
 )
+from .scenarios import ShiftScenario, popularity_shift_events
 from .state import (
     AppendResult,
     StoreConfig,
@@ -63,6 +64,7 @@ __all__ = [
     "REPLAY_BATCH_SIZE",
     "ReplayRecord",
     "ReplayReport",
+    "ShiftScenario",
     "StoreConfig",
     "StreamIngest",
     "UserSnapshot",
@@ -72,6 +74,7 @@ __all__ = [
     "event_to_json",
     "events_from_checkins",
     "offline_reference",
+    "popularity_shift_events",
     "prequential_replay",
     "serialised_rebuild_baseline",
     "stream_history_key",

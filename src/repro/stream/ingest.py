@@ -71,6 +71,10 @@ class StreamIngest:
         self._graph_pushes = self.registry.counter(
             "ingest_graph_pushes", "Fresh incremental graph entries installed"
         )
+        self._observer_errors = self.registry.counter(
+            "ingest_observer_errors", "Exceptions contained from ingest observers"
+        )
+        self._observers: List = []
 
     # -- historical counter surface ------------------------------------
     @property
@@ -123,6 +127,18 @@ class StreamIngest:
         if self.store.attach_graph_maintainer(maintainer):
             self._push_caches.append(cache)
 
+    def add_observer(self, fn) -> None:
+        """Subscribe ``fn(event, append_result)`` to every ingested event.
+
+        Observers run *after* the append and cache maintenance, on the
+        ingesting thread, in registration order — the quality monitor's
+        prequential join and the drift detector's sketches both hang off
+        this hook.  An observer exception is contained (counted in
+        ``ingest_observer_errors``): observability must never be able to
+        fail ingestion.
+        """
+        self._observers.append(fn)
+
     def ingest(self, event: CheckinEvent) -> AppendResult:
         """Append one event; retire the stale graph entry, push the new.
 
@@ -148,6 +164,11 @@ class StreamIngest:
             self._invalidations.inc(dropped)
         if pushed:
             self._graph_pushes.inc(pushed)
+        for observer in self._observers:
+            try:
+                observer(event, result)
+            except Exception:
+                self._observer_errors.inc()
         return result
 
     def ingest_many(self, events: Iterable[CheckinEvent]) -> List[AppendResult]:
@@ -162,5 +183,7 @@ class StreamIngest:
             "graph_pushes": self.graph_pushes,
             "registered_caches": len(self._caches),
             "push_caches": len(self._push_caches),
+            "observers": len(self._observers),
+            "observer_errors": int(self._observer_errors.value),
         }
         return {**self.store.stats(), **counters}

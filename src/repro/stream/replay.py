@@ -122,6 +122,8 @@ def prequential_replay(
     keep_results: bool = False,
     max_events: Optional[int] = None,
     incremental: bool = True,
+    quality=None,
+    drift=None,
 ) -> ReplayReport:
     """Replay ``events`` through ingest-then-predict, prequentially.
 
@@ -133,12 +135,21 @@ def prequential_replay(
     Passing an existing ``ingest`` continues a warm store — e.g. the
     one a live :class:`~repro.serve.InferenceServer` owns — with
     whatever registrations it already carries.
+
+    ``quality`` (a :class:`~repro.obs.QualityMonitor`) sees every
+    prediction through its labelled-sample path — replay samples carry
+    their prequential target, so each records and joins in one step —
+    and ``drift`` (a :class:`~repro.obs.DriftDetector`) observes every
+    ingested event.  Both default off; the quality-overhead bench leg
+    and the drift scenario turn them on.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     if ingest is None:
         ingest = StreamIngest(UserStateStore(store_config or StoreConfig()))
         ingest.register_predictor(predictor, incremental=incremental)
+    if drift is not None:
+        ingest.add_observer(drift.update)
     events = list(events)
     if max_events is not None:
         events = events[:max_events]
@@ -151,6 +162,8 @@ def prequential_replay(
         if not pending:
             return
         for sample, result in zip(pending, predictor.predict_batch(pending)):
+            if quality is not None:
+                quality.record(sample, result)
             records.append(
                 ReplayRecord(
                     user_id=sample.user_id,

@@ -1,0 +1,82 @@
+"""Synthetic stream scenarios: controlled distribution shifts on a tape.
+
+The drift detector (:mod:`repro.obs.drift`) and the prequential quality
+monitor need adversarial inputs to prove they *fire* — a stationary
+replay only proves they stay quiet.  :func:`popularity_shift_events`
+manufactures the canonical failure mode of a next-POI model: the venue
+popularity ranking changes under it mid-stream.
+
+The shift is a seeded random permutation of the POI id space applied to
+every event from the cut point on.  Permuting ids (rather than, say,
+re-sampling) keeps the *shape* of the stream — users, timestamps,
+session structure, per-user event counts — byte-identical to the
+original tape, so anything that changes downstream (PSI blowing past
+its threshold, windowed Recall@K dropping) is attributable to the
+popularity shift alone.  It degrades the model for the same reason it
+trips the detector: transition statistics learned for POI ``a`` now
+describe a venue the stream calls ``perm[a]``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .events import CheckinEvent
+
+__all__ = ["ShiftScenario", "popularity_shift_events"]
+
+
+@dataclass(frozen=True)
+class ShiftScenario:
+    """A shifted tape plus the bookkeeping the asserting test needs."""
+
+    events: List[CheckinEvent]
+    shift_index: int  # first event index with remapped POI ids
+    permutation: List[int] = field(repr=False)
+
+    @property
+    def pre_shift(self) -> List[CheckinEvent]:
+        return self.events[: self.shift_index]
+
+    @property
+    def post_shift(self) -> List[CheckinEvent]:
+        return self.events[self.shift_index :]
+
+
+def popularity_shift_events(
+    events: Sequence[CheckinEvent],
+    num_pois: int,
+    *,
+    shift_at: float = 0.5,
+    seed: int = 0,
+) -> ShiftScenario:
+    """Remap POI ids by a seeded permutation from ``shift_at`` onwards.
+
+    ``shift_at`` is the fraction of the tape that stays stationary
+    (0 < shift_at < 1).  Timestamps and user order are untouched, so
+    the shifted tape ingests wherever the original would — session
+    rolls included.
+    """
+    events = list(events)
+    if not 0.0 < shift_at < 1.0:
+        raise ValueError("shift_at must be inside (0, 1)")
+    if num_pois < 2:
+        raise ValueError("a permutation needs at least 2 POIs")
+    if any(e.poi_id < 0 or e.poi_id >= num_pois for e in events):
+        raise ValueError("events reference POIs outside [0, num_pois)")
+    cut = int(len(events) * shift_at)
+    permutation = list(range(num_pois))
+    random.Random(seed).shuffle(permutation)
+    shifted = [
+        event
+        if index < cut
+        else CheckinEvent(
+            user_id=event.user_id,
+            poi_id=permutation[event.poi_id],
+            timestamp=event.timestamp,
+        )
+        for index, event in enumerate(events)
+    ]
+    return ShiftScenario(events=shifted, shift_index=cut, permutation=permutation)

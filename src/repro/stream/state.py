@@ -548,6 +548,22 @@ class UserStateStore:
                 seen.extend(shard.users)
         return sorted(seen)
 
+    def strata_counts(self) -> Dict[str, int]:
+        """Cold-start occupancy: users with 0 / 1 / 2+ completed sessions.
+
+        The population denominator behind the quality monitor's
+        per-stratum accuracy cuts (``GET /quality``).  O(users) — a
+        report-path walk, deliberately kept out of :meth:`stats` so the
+        hot /stats poll stays O(shards).
+        """
+        counts = {"0": 0, "1": 0, "2+": 0}
+        for shard in self._shards:
+            with shard.lock:
+                for state in shard.users.values():
+                    sessions = len(state.sessions)
+                    counts["0" if sessions == 0 else "1" if sessions == 1 else "2+"] += 1
+        return counts
+
     def stats(self) -> Dict:
         """JSON-ready roll-up across shards (surfaces in ``/stats``).
 

@@ -195,6 +195,23 @@ class TestExposition:
         with pytest.raises(ValueError):
             parse_prometheus("this is not prometheus {{{")
 
+    def test_label_escaping_hostile_values(self):
+        """Escaped newline vs literal backslash-n must survive a full
+        render -> parse round trip as *distinct* label values."""
+        hostile = {
+            "newline": "a\nb",
+            "literal": "a\\nb",  # backslash + 'n', not a newline
+            "quote_mix": '\\"',
+            "trailing": "tail\\",
+        }
+        registry = MetricsRegistry()
+        for key, value in hostile.items():
+            registry.counter("hostile", labels={"case": key, "v": value}).inc()
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        for key, value in hostile.items():
+            label = (("case", key), ("v", value))
+            assert parsed[("hostile_total", label)] == 1.0, key
+
     def test_diff_scrapes_rates_and_quantiles(self):
         registry = MetricsRegistry()
         counter = registry.counter("requests")
@@ -218,6 +235,64 @@ class TestExposition:
         report = format_report(diff)
         assert "requests_total" in report
         assert "interval: 10.00s" in report
+
+    def test_diff_scrapes_survives_mismatched_series(self):
+        """A series present on only one side is a note, not a KeyError."""
+        registry = MetricsRegistry()
+        gone = registry.counter("gone", labels={"shard": "0"})
+        gone.inc(3)
+        before = render_prometheus(registry.snapshot(), timestamp=100.0)
+
+        fresh = MetricsRegistry()  # "restart": gone vanished, new appeared
+        fresh.counter("appeared").inc(7)
+        after = render_prometheus(fresh.snapshot(), timestamp=160.0)
+
+        diff = diff_scrapes(before, after)
+        (row,) = [c for c in diff["counters"] if c["name"] == "appeared_total"]
+        assert row["absent_before"] is True
+        assert row["delta"] == 7.0  # counts from zero, not KeyError
+        assert {"name": "gone_total", "labels": {"shard": "0"}} in diff["absent"]
+        report = format_report(diff)
+        assert "gone_total" in report
+        assert "absent" in report
+
+    def test_diff_scrapes_without_timestamp_gauge(self):
+        """Foreign / hand-edited scrapes lack our timestamp gauge:
+        the diff degrades to rate-less with an actionable note."""
+        before = "# TYPE requests_total counter\nrequests_total 5\n"
+        after = "# TYPE requests_total counter\nrequests_total 25\n"
+        diff = diff_scrapes(before, after)
+        assert diff["interval_seconds"] is None
+        (row,) = diff["counters"]
+        assert row["delta"] == 20.0
+        assert row["per_second"] is None
+        assert any("repro_scrape_timestamp_seconds" in n for n in diff["notes"])
+        report = format_report(diff)
+        assert "per-second rates omitted" in report or "missing" in report
+
+    def test_diff_scrapes_routes_quality_series_to_their_own_section(self):
+        registry = MetricsRegistry()
+        recall = registry.gauge(
+            "repro_quality_recall", labels={"k": "10", "stratum": "all"}
+        )
+        psi = registry.gauge("repro_drift_psi", labels={"dist": "poi"})
+        plain = registry.gauge("queue_depth")
+        recall.set(0.25)
+        psi.set(0.1)
+        plain.set(3)
+        before = render_prometheus(registry.snapshot(), timestamp=100.0)
+        recall.set(0.5)
+        psi.set(0.4)
+        plain.set(9)
+        after = render_prometheus(registry.snapshot(), timestamp=200.0)
+
+        diff = diff_scrapes(before, after)
+        quality_names = {row["name"] for row in diff["quality"]}
+        assert quality_names == {"repro_quality_recall", "repro_drift_psi"}
+        assert {row["name"] for row in diff["gauges"]} == {"queue_depth"}
+        report = format_report(diff)
+        assert "model quality / drift" in report
+        assert "repro_quality_recall" in report
 
 
 # ======================================================================
